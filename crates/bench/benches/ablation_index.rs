@@ -1,0 +1,45 @@
+//! Ablation bench: spatial grid index vs linear scan for online candidate
+//! generation (identical dispatch decisions — see the online crate's
+//! `grid_and_linear_scan_agree` test — different asymptotics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rideshare_bench::build_market;
+use rideshare_online::{MaxMargin, SimulationOptions, Simulator};
+use rideshare_trace::DriverModel;
+
+fn bench_grid_vs_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_search");
+    group.sample_size(10);
+    for &drivers in &[50usize, 200] {
+        let market = build_market(3, 400, drivers, DriverModel::Hitchhiking);
+        let sim = Simulator::new(&market);
+        group.bench_with_input(
+            BenchmarkId::new("linear", drivers),
+            &sim,
+            |b, sim| {
+                b.iter(|| {
+                    let mut p = MaxMargin::new();
+                    black_box(sim.run(&mut p, SimulationOptions::default()))
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("grid", drivers), &sim, |b, sim| {
+            b.iter(|| {
+                let mut p = MaxMargin::new();
+                black_box(sim.run(
+                    &mut p,
+                    SimulationOptions {
+                        use_grid: true,
+                        ..Default::default()
+                    },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_vs_linear);
+criterion_main!(benches);

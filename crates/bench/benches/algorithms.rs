@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the paper's algorithms.
+//!
+//! One group per moving part: task-map construction (§III-B, the `O(NM²)`
+//! step), the offline greedy (Alg. 1), both online heuristics (Algs. 3–4),
+//! and the column-generation upper bound. These are the kernels behind
+//! every figure; regressions here directly scale experiment wall-time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rideshare_bench::build_market;
+use rideshare_core::{
+    lp_upper_bound, solve_greedy, DriverView, Market, MarketBuildOptions, Objective,
+    UpperBoundOptions,
+};
+use rideshare_online::{MaxMargin, NearestDriver, SimulationOptions, Simulator};
+use rideshare_trace::{DriverModel, TraceConfig};
+
+fn bench_task_map(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_map_construction");
+    for &tasks in &[100usize, 300, 600] {
+        let trace = TraceConfig::porto()
+            .with_seed(9)
+            .with_task_count(tasks)
+            .with_driver_count(30, DriverModel::Hitchhiking)
+            .generate();
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &trace, |b, t| {
+            b.iter(|| black_box(Market::from_trace(t, &MarketBuildOptions::default())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_driver_view(c: &mut Criterion) {
+    let market = build_market(9, 400, 40, DriverModel::Hitchhiking);
+    let view = DriverView::new(&market, 0);
+    let removed = vec![false; market.num_tasks()];
+    c.bench_function("best_path_dp_400_tasks", |b| {
+        b.iter(|| black_box(view.best_path(&market, Objective::Profit, &removed)));
+    });
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_offline");
+    group.sample_size(10);
+    for &drivers in &[20usize, 60, 120] {
+        let market = build_market(9, 300, drivers, DriverModel::Hitchhiking);
+        group.bench_with_input(BenchmarkId::from_parameter(drivers), &market, |b, m| {
+            b.iter(|| black_box(solve_greedy(m, Objective::Profit)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_online(c: &mut Criterion) {
+    let market = build_market(9, 300, 60, DriverModel::Hitchhiking);
+    let sim = Simulator::new(&market);
+    c.bench_function("online_max_margin_300x60", |b| {
+        b.iter(|| {
+            let mut policy = MaxMargin::new();
+            black_box(sim.run(&mut policy, SimulationOptions::default()))
+        });
+    });
+    c.bench_function("online_nearest_300x60", |b| {
+        b.iter(|| {
+            let mut policy = NearestDriver::with_seed(0);
+            black_box(sim.run(&mut policy, SimulationOptions::default()))
+        });
+    });
+}
+
+fn bench_upper_bound(c: &mut Criterion) {
+    let mut group = c.benchmark_group("column_generation");
+    group.sample_size(10);
+    let market = build_market(9, 150, 20, DriverModel::Hitchhiking);
+    group.bench_function("zf_star_150x20", |b| {
+        b.iter(|| {
+            black_box(
+                lp_upper_bound(&market, Objective::Profit, UpperBoundOptions::default())
+                    .expect("converges"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_task_map,
+    bench_driver_view,
+    bench_greedy,
+    bench_online,
+    bench_upper_bound
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the framework's extensions: batched dispatch,
+//! geographic partitioning, and dynamic surge pricing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rideshare_bench::build_market;
+use rideshare_core::{partition::solve_partitioned, Market, MarketBuildOptions, Objective};
+use rideshare_online::run_batched;
+use rideshare_trace::{DriverModel, TraceConfig};
+use rideshare_types::TimeDelta;
+
+fn bench_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_dispatch");
+    group.sample_size(10);
+    let market = build_market(3, 300, 40, DriverModel::Hitchhiking);
+    for &mins in &[0i64, 2, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(mins), &mins, |b, &mins| {
+            b.iter(|| black_box(run_batched(&market, TimeDelta::from_mins(mins))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioned_greedy");
+    group.sample_size(10);
+    let market = build_market(3, 400, 60, DriverModel::Hitchhiking);
+    for &k in &[1u16, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(solve_partitioned(&market, k, Objective::Profit)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_surge_pricing(c: &mut Criterion) {
+    let trace = TraceConfig::porto()
+        .with_seed(3)
+        .with_task_count(1000)
+        .with_driver_count(100, DriverModel::Hitchhiking)
+        .generate();
+    c.bench_function("market_build_static_surge_1000", |b| {
+        b.iter(|| black_box(Market::from_trace(&trace, &MarketBuildOptions::default())));
+    });
+    c.bench_function("market_build_dynamic_surge_1000", |b| {
+        b.iter(|| {
+            black_box(Market::from_trace(
+                &trace,
+                &MarketBuildOptions {
+                    surge_window: Some(TimeDelta::from_mins(30)),
+                    ..Default::default()
+                },
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_batched,
+    bench_partitioned,
+    bench_dynamic_surge_pricing
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks for trace generation and the Fig. 3–4 statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rideshare_trace::stats::{ccdf, fit_power_law, Histogram};
+use rideshare_trace::{DriverModel, TraceConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    for &trips in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(trips), &trips, |b, &trips| {
+            b.iter(|| {
+                black_box(
+                    TraceConfig::porto()
+                        .with_seed(1)
+                        .with_task_count(trips)
+                        .with_driver_count(100, DriverModel::Hitchhiking)
+                        .generate(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let trace = TraceConfig::porto()
+        .with_seed(1)
+        .with_task_count(20_000)
+        .with_driver_count(10, DriverModel::Hitchhiking)
+        .generate();
+    let kms: Vec<f64> = trace.trips.iter().map(|t| t.distance_km).collect();
+
+    c.bench_function("histogram_log_20k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::logarithmic(0.5, 40.0, 24);
+            h.extend(&kms);
+            black_box(h.density())
+        });
+    });
+    c.bench_function("ccdf_20k", |b| {
+        b.iter(|| black_box(ccdf(&kms)));
+    });
+    c.bench_function("power_law_fit_20k", |b| {
+        b.iter(|| black_box(fit_power_law(&kms, 1.0)));
+    });
+}
+
+criterion_group!(benches, bench_generation, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! Quality ablations for the design choices flagged in DESIGN.md §5.
+//!
+//! - **Dispatch criterion**: maxMargin (Eq. 14) vs Nearest arrival vs
+//!   Random candidate — isolates how much the selection rule contributes
+//!   beyond feasibility filtering.
+//! - **Surge pricing on/off**: effect on total revenue and served rate
+//!   (the §VI-C congestion-control discussion).
+//! - **Chain-wait cap**: pruning long idle gaps from the task map — the
+//!   offline greedy's quality/speed trade-off.
+//! - **Upper-bound validation**: `Z_f*` vs exact `Z*` gap at small scale.
+//!
+//! Usage: `cargo run --release --bin ablations [--quick]`
+
+use rideshare_core::{
+    lp_upper_bound, solve_exact, solve_greedy, ExactOptions, Market, MarketBuildOptions,
+    Objective, UpperBoundOptions,
+};
+use rideshare_metrics::render_table;
+use rideshare_online::{
+    MaxMargin, NearestDriver, RandomDispatch, SimulationOptions, Simulator,
+};
+use rideshare_pricing::SurgeConfig;
+use rideshare_trace::{DriverModel, TraceConfig};
+use rideshare_types::TimeDelta;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tasks = if quick { 150 } else { 600 };
+    let drivers = if quick { 25 } else { 80 };
+
+    dispatch_criterion(tasks, drivers);
+    surge_on_off(tasks, drivers);
+    chain_wait_cap(tasks, drivers);
+    partitioning_loss(tasks, drivers);
+    objective_comparison(tasks, drivers);
+    bound_vs_exact();
+}
+
+fn trace(tasks: usize, drivers: usize) -> rideshare_trace::Trace {
+    TraceConfig::porto()
+        .with_seed(77)
+        .with_task_count(tasks)
+        .with_driver_count(drivers, DriverModel::Hitchhiking)
+        .generate()
+}
+
+fn dispatch_criterion(tasks: usize, drivers: usize) {
+    println!("== Ablation: dispatch criterion ({tasks} tasks, {drivers} drivers) ==");
+    let market = Market::from_trace(&trace(tasks, drivers), &MarketBuildOptions::default());
+    let sim = Simulator::new(&market);
+    let mut rows = Vec::new();
+    let mut policies: Vec<Box<dyn rideshare_online::DispatchPolicy>> = vec![
+        Box::new(MaxMargin::new()),
+        Box::new(NearestDriver::with_seed(0)),
+        Box::new(RandomDispatch::with_seed(0)),
+    ];
+    for policy in &mut policies {
+        let r = sim.run(policy.as_mut(), SimulationOptions::default());
+        rows.push(vec![
+            policy.name().to_string(),
+            format!("{:.2}", r.total_profit(&market).as_f64()),
+            format!("{:.3}", r.service_rate()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["policy", "profit", "served rate"], &rows)
+    );
+}
+
+fn surge_on_off(tasks: usize, drivers: usize) {
+    println!("== Ablation: surge pricing on/off ==");
+    let t = trace(tasks, drivers);
+    let mut rows = Vec::new();
+    for (label, surge) in [
+        ("uber-like (√ratio, cap 3×)", SurgeConfig::uber_like()),
+        ("disabled (α ≡ 1)", SurgeConfig::disabled()),
+    ] {
+        let market = Market::from_trace(
+            &t,
+            &MarketBuildOptions {
+                surge,
+                ..Default::default()
+            },
+        );
+        let sim = Simulator::new(&market);
+        let r = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", r.assignment.total_revenue(&market).as_f64()),
+            format!("{:.2}", r.total_profit(&market).as_f64()),
+            format!("{:.3}", r.service_rate()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["surge", "revenue", "profit", "served rate"], &rows)
+    );
+}
+
+fn chain_wait_cap(tasks: usize, drivers: usize) {
+    println!("== Ablation: chain-wait cap on the offline task map ==");
+    let t = trace(tasks, drivers);
+    let mut rows = Vec::new();
+    for (label, cap) in [
+        ("uncapped (paper model)", None),
+        ("≤ 60 min", Some(TimeDelta::from_mins(60))),
+        ("≤ 15 min", Some(TimeDelta::from_mins(15))),
+    ] {
+        let market = Market::from_trace(
+            &t,
+            &MarketBuildOptions {
+                max_chain_wait: cap,
+                ..Default::default()
+            },
+        );
+        let ga = solve_greedy(&market, Objective::Profit);
+        rows.push(vec![
+            label.to_string(),
+            market.chain_arc_count().to_string(),
+            format!(
+                "{:.2}",
+                ga.assignment
+                    .objective_value(&market, Objective::Profit)
+                    .as_f64()
+            ),
+            ga.evaluations.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["cap", "chain arcs", "greedy profit", "DP evals"], &rows)
+    );
+}
+
+fn partitioning_loss(tasks: usize, drivers: usize) {
+    println!("== Ablation: geographic partitioning loss (§I's distribution claim) ==");
+    let market = Market::from_trace(&trace(tasks, drivers), &MarketBuildOptions::default());
+    let global = solve_greedy(&market, Objective::Profit)
+        .assignment
+        .objective_value(&market, Objective::Profit)
+        .as_f64();
+    let mut rows = vec![vec![
+        "global (k=1)".to_string(),
+        format!("{global:.2}"),
+        "100.0%".to_string(),
+    ]];
+    for k in [2u16, 4, 8] {
+        let merged = rideshare_core::partition::solve_partitioned(&market, k, Objective::Profit);
+        merged.validate(&market).expect("merged assignment feasible");
+        let p = merged.objective_value(&market, Objective::Profit).as_f64();
+        rows.push(vec![
+            format!("{k}x{k} cells"),
+            format!("{p:.2}"),
+            format!("{:.1}%", p / global.max(1e-9) * 100.0),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["partition", "greedy profit", "vs global"], &rows)
+    );
+}
+
+fn objective_comparison(tasks: usize, drivers: usize) {
+    println!("== Ablation: drivers'-profit (Eq. 4) vs social-welfare (Eq. 6) objective ==");
+    let market = Market::from_trace(&trace(tasks, drivers), &MarketBuildOptions::default());
+    let mut rows = Vec::new();
+    for objective in [Objective::Profit, Objective::Welfare] {
+        let a = solve_greedy(&market, objective).assignment;
+        rows.push(vec![
+            format!("{objective:?}-greedy"),
+            format!("{:.2}", a.objective_value(&market, Objective::Profit).as_f64()),
+            format!("{:.2}", a.objective_value(&market, Objective::Welfare).as_f64()),
+            a.served_count().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["optimised for", "profit value", "welfare value", "served"],
+            &rows
+        )
+    );
+}
+
+fn bound_vs_exact() {
+    println!("== Ablation: Z_f* (column generation) vs exact Z* at small scale ==");
+    let mut rows = Vec::new();
+    for (tasks, drivers) in [(10, 5), (14, 7), (18, 8)] {
+        let market = Market::from_trace(&trace(tasks, drivers), &MarketBuildOptions::default());
+        let exact = solve_exact(&market, Objective::Profit, ExactOptions::default())
+            .expect("small instance solves");
+        let ub = lp_upper_bound(&market, Objective::Profit, UpperBoundOptions::default())
+            .expect("column generation converges");
+        let gap = if exact.objective_value.abs() < 1e-9 {
+            0.0
+        } else {
+            (ub.bound - exact.objective_value) / exact.objective_value.max(1e-9)
+        };
+        rows.push(vec![
+            format!("{tasks}×{drivers}"),
+            format!("{:.4}", exact.objective_value),
+            format!("{:.4}", ub.bound),
+            format!("{:.2}%", gap * 100.0),
+            ub.rounds.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["M×N", "Z*", "Z_f*", "gap", "CG rounds"], &rows)
+    );
+}

@@ -1,0 +1,96 @@
+//! Figure 5 — performance ratio of Greedy / maxMargin / Nearest against
+//! the LP upper bound `Z_f*`, for both driver working models.
+//!
+//! The paper selects 1000 task records from one day and sweeps the number
+//! of available drivers from 20 to 300; the left panel uses the
+//! "hitchhiking" model, the right panel "home-work-home". The performance
+//! ratio reported here is `algorithm profit / Z_f*` (∈ [0, 1], higher is
+//! better; the paper plots the same comparison with the axes in its own
+//! orientation).
+//!
+//! Usage: `cargo run --release --bin fig5_performance_ratio [tasks]
+//!         [--quick] [--model hitch|hwh] [--rounds N]`
+//!
+//! `--quick` shrinks the sweep for smoke-testing; `--model` runs one panel
+//! only; `--rounds` caps the column-generation rounds (the Lagrangian
+//! fallback keeps the truncated bound valid — see `lp_upper_bound` — at
+//! the cost of a slightly looser denominator).
+
+use rideshare_bench::{build_market, run_all_algorithms, DRIVER_SWEEP};
+use rideshare_core::{lp_upper_bound, Objective, UpperBoundOptions};
+use rideshare_metrics::{render_series, Series};
+use rideshare_trace::DriverModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let tasks: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if quick { 200 } else { 1000 });
+    let sweep: Vec<usize> = if quick {
+        vec![20, 60, 150]
+    } else {
+        DRIVER_SWEEP.to_vec()
+    };
+    let models: Vec<DriverModel> = match args
+        .iter()
+        .position(|a| a == "--model")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("hitch") => vec![DriverModel::Hitchhiking],
+        Some("hwh") => vec![DriverModel::HomeWorkHome],
+        _ => vec![DriverModel::Hitchhiking, DriverModel::HomeWorkHome],
+    };
+    let max_rounds: usize = args
+        .iter()
+        .position(|a| a == "--rounds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    let upper_bound = |market: &rideshare_core::Market| {
+        lp_upper_bound(
+            market,
+            Objective::Profit,
+            UpperBoundOptions {
+                max_rounds,
+                ..Default::default()
+            },
+        )
+        .expect("column generation on a well-formed market")
+        .bound
+    };
+
+    for model in models {
+        println!(
+            "== Fig. 5 ({}) — performance ratio vs Z_f*, {tasks} tasks ==",
+            model.label()
+        );
+        let mut greedy = Series::new("Greedy");
+        let mut max_margin = Series::new("maxMargin");
+        let mut nearest = Series::new("Nearest");
+        for &drivers in &sweep {
+            let market = build_market(1907, tasks, drivers, model);
+            let bound = upper_bound(&market);
+            let runs = run_all_algorithms(&market);
+            for run in &runs {
+                let ratio = if bound <= f64::EPSILON {
+                    1.0
+                } else {
+                    run.profit / bound
+                };
+                match run.name {
+                    "Greedy" => greedy.push(drivers as f64, ratio),
+                    "maxMargin" => max_margin.push(drivers as f64, ratio),
+                    "Nearest" => nearest.push(drivers as f64, ratio),
+                    _ => {}
+                }
+            }
+            eprintln!("  [{}] drivers={drivers} done (Z_f* = {bound:.1})", model.label());
+        }
+        println!("{}", render_series("drivers", &[greedy, max_margin, nearest]));
+    }
+    println!("expected shape: Greedy ≥ maxMargin ≥ Nearest; hitchhiking ≥ home-work-home.");
+}

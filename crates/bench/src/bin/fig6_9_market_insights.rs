@@ -1,0 +1,65 @@
+//! Figures 6–9 — market-density insights (§VI-C).
+//!
+//! Using the general "hitchhiking" model (drivers with random sources and
+//! destinations), sweep the number of drivers and report, per algorithm
+//! (Greedy = red line, maxMargin = blue, Nearest = orange in the paper):
+//!
+//! - Fig. 6: total revenue in the market (increases with drivers),
+//! - Fig. 7: rate of served tasks (increases),
+//! - Fig. 8: average revenue per worker (decreases — congestion),
+//! - Fig. 9: average tasks per worker (decreases).
+//!
+//! Usage: `cargo run --release --bin fig6_9_market_insights [tasks] [--quick]`
+
+use rideshare_bench::{build_market, run_all_algorithms, DRIVER_SWEEP};
+use rideshare_metrics::{render_series, Series};
+use rideshare_trace::DriverModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let tasks: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if quick { 200 } else { 1000 });
+    let sweep: Vec<usize> = if quick {
+        vec![20, 60, 150]
+    } else {
+        DRIVER_SWEEP.to_vec()
+    };
+
+    let algos = ["Greedy", "maxMargin", "Nearest"];
+    let mut revenue: Vec<Series> = algos.iter().map(|a| Series::new(*a)).collect();
+    let mut served: Vec<Series> = algos.iter().map(|a| Series::new(*a)).collect();
+    let mut rev_per_worker: Vec<Series> = algos.iter().map(|a| Series::new(*a)).collect();
+    let mut tasks_per_worker: Vec<Series> = algos.iter().map(|a| Series::new(*a)).collect();
+
+    for &drivers in &sweep {
+        let market = build_market(1907, tasks, drivers, DriverModel::Hitchhiking);
+        let runs = run_all_algorithms(&market);
+        for run in &runs {
+            let Some(k) = algos.iter().position(|a| *a == run.name) else {
+                continue;
+            };
+            let x = drivers as f64;
+            revenue[k].push(x, run.metrics.total_revenue);
+            served[k].push(x, run.metrics.served_rate);
+            rev_per_worker[k].push(x, run.metrics.avg_revenue_per_worker);
+            tasks_per_worker[k].push(x, run.metrics.avg_tasks_per_worker);
+        }
+        eprintln!("  drivers={drivers} done");
+    }
+
+    println!("== Fig. 6 — total revenue in the market ({tasks} tasks) ==");
+    println!("{}", render_series("drivers", &revenue));
+    println!("== Fig. 7 — rate of served tasks ==");
+    println!("{}", render_series("drivers", &served));
+    println!("== Fig. 8 — average revenue per worker ==");
+    println!("{}", render_series("drivers", &rev_per_worker));
+    println!("== Fig. 9 — average tasks per worker ==");
+    println!("{}", render_series("drivers", &tasks_per_worker));
+    println!(
+        "expected shape: Figs. 6–7 increase with drivers; Figs. 8–9 decrease \
+         (market congestion, §VI-C)."
+    );
+}

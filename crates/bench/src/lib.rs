@@ -1,0 +1,120 @@
+//! Shared experiment harness for the paper's evaluation (§VI).
+//!
+//! The figure binaries (`src/bin/fig*.rs`) and the Criterion benches both
+//! build their workloads through this crate so that every reported number
+//! comes from one code path: [`build_market`] fixes the trace/market
+//! construction, [`run_all_algorithms`] runs the paper's three algorithms
+//! plus the random baseline on one market, and [`AlgorithmRun`] carries the
+//! per-algorithm outcomes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rideshare_core::{
+    lp_upper_bound, solve_greedy, Market, MarketBuildOptions, Objective, UpperBoundOptions,
+};
+use rideshare_metrics::MarketMetrics;
+use rideshare_online::{
+    MaxMargin, NearestDriver, RandomDispatch, SimulationOptions, Simulator,
+};
+use rideshare_trace::{DriverModel, TraceConfig};
+
+/// The driver counts swept by Figs. 5–9 ("gradually increasing the number
+/// of drivers available in the market from 20 to 300").
+pub const DRIVER_SWEEP: [usize; 8] = [20, 40, 60, 100, 150, 200, 250, 300];
+
+/// The paper's task-count setting: "We select 1000 records during one day".
+pub const PAPER_TASK_COUNT: usize = 1000;
+
+/// Builds the evaluation market for one sweep point.
+#[must_use]
+pub fn build_market(seed: u64, tasks: usize, drivers: usize, model: DriverModel) -> Market {
+    let trace = TraceConfig::porto()
+        .with_seed(seed)
+        .with_task_count(tasks)
+        .with_driver_count(drivers, model)
+        .generate();
+    Market::from_trace(&trace, &MarketBuildOptions::default())
+}
+
+/// One algorithm's outcome on one market.
+#[derive(Clone, Debug)]
+pub struct AlgorithmRun {
+    /// Algorithm label as used in the paper's legends.
+    pub name: &'static str,
+    /// Drivers' total profit (Eq. 4).
+    pub profit: f64,
+    /// Market metrics of the produced assignment (Figs. 6–9 inputs).
+    pub metrics: MarketMetrics,
+}
+
+/// Runs Greedy (offline, Alg. 1), maxMargin (Alg. 4), Nearest (Alg. 3), and
+/// the Random baseline on `market`, in the paper's legend order.
+#[must_use]
+pub fn run_all_algorithms(market: &Market) -> Vec<AlgorithmRun> {
+    let mut out = Vec::with_capacity(4);
+
+    let greedy = solve_greedy(market, Objective::Profit);
+    out.push(AlgorithmRun {
+        name: "Greedy",
+        profit: greedy
+            .assignment
+            .objective_value(market, Objective::Profit)
+            .as_f64(),
+        metrics: MarketMetrics::of(market, &greedy.assignment),
+    });
+
+    let sim = Simulator::new(market);
+    let mm = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+    out.push(AlgorithmRun {
+        name: "maxMargin",
+        profit: mm.total_profit(market).as_f64(),
+        metrics: MarketMetrics::of(market, &mm.assignment),
+    });
+
+    let nearest = sim.run(&mut NearestDriver::with_seed(0), SimulationOptions::default());
+    out.push(AlgorithmRun {
+        name: "Nearest",
+        profit: nearest.total_profit(market).as_f64(),
+        metrics: MarketMetrics::of(market, &nearest.assignment),
+    });
+
+    let random = sim.run(&mut RandomDispatch::with_seed(0), SimulationOptions::default());
+    out.push(AlgorithmRun {
+        name: "Random",
+        profit: random.total_profit(market).as_f64(),
+        metrics: MarketMetrics::of(market, &random.assignment),
+    });
+
+    out
+}
+
+/// Computes the upper bound `Z_f*` used as the Fig. 5 denominator.
+#[must_use]
+pub fn upper_bound(market: &Market) -> f64 {
+    lp_upper_bound(market, Objective::Profit, UpperBoundOptions::default())
+        .expect("column generation on a well-formed market")
+        .bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_produces_expected_legend() {
+        let market = build_market(1, 60, 8, DriverModel::Hitchhiking);
+        let runs = run_all_algorithms(&market);
+        let names: Vec<&str> = runs.iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["Greedy", "maxMargin", "Nearest", "Random"]);
+        let ub = upper_bound(&market);
+        for r in &runs {
+            assert!(
+                r.profit <= ub + 1e-6,
+                "{} profit {} above bound {ub}",
+                r.name,
+                r.profit
+            );
+        }
+    }
+}

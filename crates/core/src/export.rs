@@ -1,0 +1,177 @@
+//! Export a driver's task map as a generic [`rideshare_graph::Dag`].
+//!
+//! The market solver uses a factored representation (shared chain graph +
+//! per-driver masks) for memory reasons; this module materialises the
+//! paper's *literal* per-driver DAG of §III-B — nodes `{0, −1} ∪ [M]`,
+//! profit-weighted — on demand. Uses:
+//!
+//! - differential testing: `DriverView::best_path` against the generic
+//!   `Dag::max_profit_path` on the same structure,
+//! - interop with the generic MDP tooling
+//!   ([`rideshare_graph::greedy_disjoint_paths`]),
+//! - inspection/debugging of individual task maps.
+
+use rideshare_graph::Dag;
+
+use crate::market::{Market, Objective};
+use crate::view::DriverView;
+
+/// The materialised task map of one driver.
+#[derive(Clone, Debug)]
+pub struct TaskMapDag {
+    /// The DAG: node `m ∈ 0..M` is task `m` (weight = objective margin),
+    /// node `M` is the driver's source (weight = the commute refund
+    /// `cₙ,₀,₋₁`), node `M+1` her destination; edge weights are negated
+    /// travel costs, so path profit equals the market's `r_π`.
+    pub dag: Dag,
+    /// Index of the source node (`= M`).
+    pub source: usize,
+    /// Index of the sink node (`= M + 1`).
+    pub sink: usize,
+}
+
+/// Materialises driver `driver`'s task map under `objective`.
+///
+/// Infeasible tasks (per Eqs. 1–2) are present but *disabled*, so node
+/// indices always equal task indices.
+///
+/// # Panics
+///
+/// Panics if `driver` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_core::{export::task_map_dag, Market, MarketBuildOptions, Objective};
+/// use rideshare_trace::{DriverModel, TraceConfig};
+///
+/// let trace = TraceConfig::porto()
+///     .with_seed(9)
+///     .with_task_count(40)
+///     .with_driver_count(3, DriverModel::Hitchhiking)
+///     .generate();
+/// let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+/// let tm = task_map_dag(&market, 0, Objective::Profit);
+/// assert_eq!(tm.source, 40);
+/// assert!(tm.dag.max_profit_path(tm.source, tm.sink).is_some());
+/// ```
+#[must_use]
+pub fn task_map_dag(market: &Market, driver: usize, objective: Objective) -> TaskMapDag {
+    let m = market.num_tasks();
+    let view = DriverView::new(market, driver);
+    let d = &market.drivers()[driver];
+    let speed = market.speed();
+
+    let mut dag = Dag::new(m + 2);
+    let source = m;
+    let sink = m + 1;
+    dag.set_node_weight(source, view.direct_cost().as_f64());
+
+    for t in 0..m {
+        if !view.is_allowed(t) {
+            dag.disable_node(t);
+            continue;
+        }
+        let task = &market.tasks()[t];
+        dag.set_node_weight(t, task.margin(objective).as_f64());
+        dag.add_edge(
+            source,
+            t,
+            -speed.travel_cost(d.source, task.origin).as_f64(),
+        );
+        dag.add_edge(
+            t,
+            sink,
+            -speed.travel_cost(task.destination, d.destination).as_f64(),
+        );
+    }
+    for t in 0..m {
+        if !view.is_allowed(t) {
+            continue;
+        }
+        for e in market.chain_edges(t) {
+            if view.is_allowed(e.to as usize) {
+                dag.add_edge(t, e.to as usize, -e.cost);
+            }
+        }
+    }
+    // The empty route: drive straight home at the commute cost, netting 0.
+    dag.add_edge(source, sink, -view.direct_cost().as_f64());
+    TaskMapDag { dag, source, sink }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::MarketBuildOptions;
+    use rideshare_trace::{DriverModel, TraceConfig};
+
+    fn market(seed: u64, tasks: usize, drivers: usize) -> Market {
+        let trace = TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, DriverModel::Hitchhiking)
+            .generate();
+        Market::from_trace(&trace, &MarketBuildOptions::default())
+    }
+
+    #[test]
+    fn generic_dag_agrees_with_factored_solver() {
+        // The crown differential test: two completely independent path
+        // solvers over the same task map must find the same optimum.
+        for seed in [91u64, 92, 93, 94] {
+            let m = market(seed, 80, 6);
+            let removed = vec![false; m.num_tasks()];
+            for driver in 0..m.num_drivers() {
+                let view = DriverView::new(&m, driver);
+                let fast = view.best_path(&m, Objective::Profit, &removed);
+                let tm = task_map_dag(&m, driver, Objective::Profit);
+                let generic = tm
+                    .dag
+                    .max_profit_path(tm.source, tm.sink)
+                    .expect("empty route always exists");
+                assert!(
+                    (fast.profit - generic.profit.max(0.0)).abs() < 1e-6,
+                    "seed {seed} driver {driver}: factored {} vs generic {}",
+                    fast.profit,
+                    generic.profit
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn task_map_is_acyclic_and_indexed_by_task() {
+        let m = market(95, 60, 2);
+        let tm = task_map_dag(&m, 0, Objective::Profit);
+        assert!(rideshare_graph::is_acyclic(&tm.dag));
+        assert_eq!(tm.dag.node_count(), m.num_tasks() + 2);
+        let view = DriverView::new(&m, 0);
+        for t in 0..m.num_tasks() {
+            assert_eq!(tm.dag.is_enabled(t), view.is_allowed(t));
+        }
+    }
+
+    #[test]
+    fn empty_route_edge_gives_zero_profit_floor() {
+        // A market where no task is profitable: the best generic path is
+        // the direct source→sink edge with profit exactly 0.
+        let m = market(96, 0, 1);
+        let tm = task_map_dag(&m, 0, Objective::Profit);
+        let p = tm.dag.max_profit_path(tm.source, tm.sink).unwrap();
+        assert_eq!(p.nodes, vec![tm.source, tm.sink]);
+        assert!(p.profit.abs() < 1e-9);
+    }
+
+    #[test]
+    fn welfare_map_dominates_profit_map() {
+        let m = market(97, 50, 3);
+        for driver in 0..m.num_drivers() {
+            let p = task_map_dag(&m, driver, Objective::Profit);
+            let w = task_map_dag(&m, driver, Objective::Welfare);
+            let pp = p.dag.max_profit_path(p.source, p.sink).unwrap().profit;
+            let ww = w.dag.max_profit_path(w.source, w.sink).unwrap().profit;
+            assert!(ww + 1e-9 >= pp, "welfare {ww} < profit {pp}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's primary contribution: a generalized optimization framework
+//! for two-sided ride-sharing / delivery markets.
+//!
+//! This crate implements §III–§IV of *"An Optimization Framework for Online
+//! Ride-sharing Markets"* (ICDCS 2017):
+//!
+//! - [`Market`]: the two-sided market configuration of §III-A — `N` drivers
+//!   with daily travel plans, `M` tasks with deadlines, prices `pₘ`, and
+//!   valuations `bₘ` — plus the **task-map** arcs of §III-B (Eqs. 1–3),
+//!   stored as one shared driver-independent chain graph and per-driver
+//!   reachability views ([`DriverView`]),
+//! - [`Assignment`]: a feasible solution (one node-disjoint task list per
+//!   driver), with validation of the flow constraints (5a–5f) and
+//!   individual rationality (5b), and evaluation of both objectives —
+//!   drivers' profit `Z` (Eq. 4) and social welfare `Ẑ` (Eq. 6) via
+//!   [`Objective`],
+//! - [`solve_greedy`]: the offline greedy **GA** (Alg. 1) with its tight
+//!   `1/(D+1)` approximation guarantee, implemented with lazy best-path
+//!   re-evaluation,
+//! - [`lp_upper_bound`]: the LP-relaxation bound `Z_f*` (§III-E) computed
+//!   by column generation over the path formulation (Eq. 9–10), with an
+//!   exact longest-path pricing oracle,
+//! - [`solve_exact`]: the arc-form ILP solved by branch-and-bound — the
+//!   CPLEX stand-in for small-scale exact optima `Z*` (§VI-B),
+//! - [`tightness`]: a generator for the Fig. 2 adversarial family showing
+//!   the `1/(D+1)` ratio is tight.
+//!
+//! # Examples
+//!
+//! ```
+//! use rideshare_core::{Market, Objective, solve_greedy};
+//! use rideshare_trace::{DriverModel, TraceConfig};
+//!
+//! let trace = TraceConfig::porto()
+//!     .with_seed(1)
+//!     .with_task_count(120)
+//!     .with_driver_count(15, DriverModel::Hitchhiking)
+//!     .generate();
+//! let market = Market::from_trace(&trace, &Default::default());
+//! let outcome = solve_greedy(&market, Objective::Profit);
+//! let assignment = &outcome.assignment;
+//! assert!(assignment.validate(&market).is_ok());
+//! let profit = assignment.objective_value(&market, Objective::Profit);
+//! assert!(profit.as_f64() >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod exact;
+pub mod export;
+mod greedy;
+mod market;
+pub mod partition;
+mod summary;
+pub mod tightness;
+mod upper_bound;
+mod view;
+
+pub use assignment::{Assignment, DriverRoute};
+pub use exact::{solve_exact, ExactOptions, ExactOutcome};
+pub use greedy::{solve_greedy, GreedyOutcome};
+pub use market::{ChainEdge, Driver, Market, MarketBuildOptions, Objective, Task};
+pub use summary::MarketSummary;
+pub use upper_bound::{lp_upper_bound, performance_ratio, UpperBoundOptions, UpperBoundResult};
+pub use view::{BestPath, DriverView};

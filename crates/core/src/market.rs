@@ -1,0 +1,640 @@
+//! The two-sided market configuration and task-map construction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rideshare_geo::{GeoPoint, GridIndex, SpeedModel};
+use rideshare_pricing::{FareModel, SurgeConfig, SurgeEngine, WtpModel};
+use rideshare_trace::{DriverModel, Trace};
+use rideshare_types::{DriverId, Money, TaskId, TimeDelta, Timestamp};
+
+/// Which objective a solver optimises.
+///
+/// The paper formulates both (§III-C/D); the only difference is whether a
+/// served task contributes its price `pₘ` (producer surplus) or the
+/// customer's valuation `bₘ` (social welfare).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Objective {
+    /// Drivers' total profit `Z` (Eq. 4): revenue is `pₘ`.
+    #[default]
+    Profit,
+    /// Social welfare `Ẑ` (Eq. 6): revenue is `bₘ`.
+    Welfare,
+}
+
+/// A task (customer order) in the market, the paper's `m ∈ [M]`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Task {
+    /// Dense identifier.
+    pub id: TaskId,
+    /// When the order was submitted (`t̄ₘ`).
+    pub publish_time: Timestamp,
+    /// Pickup location (`s̄ₘ`).
+    pub origin: GeoPoint,
+    /// Drop-off location (`d̄ₘ`).
+    pub destination: GeoPoint,
+    /// Pickup deadline (`t̄⁻ₘ`).
+    pub pickup_deadline: Timestamp,
+    /// Completion deadline (`t̄⁺ₘ`).
+    pub completion_deadline: Timestamp,
+    /// In-service travel time (`l̂ₙ,ₘ`, driver-independent here).
+    pub duration: TimeDelta,
+    /// Payoff to the serving driver (`pₘ`), surge included.
+    pub price: Money,
+    /// Customer's willingness to pay (`bₘ ≥ pₘ`).
+    pub valuation: Money,
+    /// Driver's cost to serve origin→destination (`ĉₙ,ₘ`).
+    pub service_cost: Money,
+}
+
+impl Task {
+    /// Net contribution of serving this task under `objective`, before
+    /// connection costs: `pₘ − ĉₙ,ₘ` or `bₘ − ĉₙ,ₘ`.
+    #[must_use]
+    pub fn margin(&self, objective: Objective) -> Money {
+        match objective {
+            Objective::Profit => self.price - self.service_cost,
+            Objective::Welfare => self.valuation - self.service_cost,
+        }
+    }
+
+    /// Whether the task's own window can fit its service time — the paper's
+    /// `ĥₙ,ₘ` precondition (Eq. 1).
+    #[must_use]
+    pub fn window_feasible(&self) -> bool {
+        self.duration <= self.completion_deadline - self.pickup_deadline
+    }
+}
+
+/// A driver in the market, the paper's `n ∈ [N]`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Driver {
+    /// Dense identifier.
+    pub id: DriverId,
+    /// Start location (`sₙ`).
+    pub source: GeoPoint,
+    /// End-of-day location (`dₙ`).
+    pub destination: GeoPoint,
+    /// Start of availability (`t⁻ₙ`).
+    pub shift_start: Timestamp,
+    /// End of availability (`t⁺ₙ`).
+    pub shift_end: Timestamp,
+    /// Which working model the driver follows.
+    pub model: DriverModel,
+}
+
+/// A driver-independent feasible chain arc `m → m'` of the task map: the
+/// driver can drive empty from `m`'s destination to `m'`'s origin within
+/// the gap between their windows (Eq. 3's shared condition).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ChainEdge {
+    /// Successor task index.
+    pub to: u32,
+    /// Empty-driving cost `cₙ,ₘ,ₘ'` (currency).
+    pub cost: f64,
+    /// Empty-driving time `lₙ,ₘ,ₘ'`.
+    pub travel: TimeDelta,
+}
+
+/// Options controlling market construction from a trace.
+#[derive(Clone, Debug)]
+pub struct MarketBuildOptions {
+    /// Fare model for Eq. 15 prices.
+    pub fare: FareModel,
+    /// Surge curve; multipliers are computed from a static supply/demand
+    /// snapshot over the trace's grid cells.
+    pub surge: SurgeConfig,
+    /// WTP model for customer valuations.
+    pub wtp: WtpModel,
+    /// Seed for the WTP draws (independent of the trace seed).
+    pub wtp_seed: u64,
+    /// Grid resolution for the surge engine's geographic cells.
+    pub surge_grid: (u16, u16),
+    /// Optional cap on the waiting gap a chain arc may bridge; `None`
+    /// (the paper's model) allows arbitrarily long waits between tasks.
+    pub max_chain_wait: Option<TimeDelta>,
+    /// When set, surge multipliers are computed **dynamically** at each
+    /// task's publish instant from a rolling demand window of this length
+    /// (recent orders in the cell vs drivers on shift there), instead of
+    /// from one static whole-day snapshot. This matches the measured
+    /// Uber mechanism more closely (Chen & Sheldon observe minute-scale
+    /// surge updates); the paper's model is agnostic — it only requires
+    /// `pₘ` to be fixed by publish time, which both variants satisfy.
+    pub surge_window: Option<TimeDelta>,
+}
+
+impl Default for MarketBuildOptions {
+    fn default() -> Self {
+        Self {
+            fare: FareModel::porto_taxi(),
+            surge: SurgeConfig::uber_like(),
+            wtp: WtpModel::default(),
+            wtp_seed: 0x5eed,
+            surge_grid: (12, 12),
+            max_chain_wait: None,
+            surge_window: None,
+        }
+    }
+}
+
+/// The market: drivers, tasks, the travel model, and the shared part of the
+/// task map (§III-B).
+///
+/// The task map of driver `n` is the DAG over `{0, −1} ∪ [M]` defined by
+/// Eqs. 1–3. With a shared speed model, the arc predicate between two tasks
+/// factors into a driver-independent part (stored here once as
+/// [`ChainEdge`] lists, `O(M²)` construction exactly as the paper counts)
+/// and per-driver source/sink reachability (computed by
+/// [`crate::DriverView`] in `O(M)`).
+#[derive(Clone, Debug)]
+pub struct Market {
+    drivers: Vec<Driver>,
+    tasks: Vec<Task>,
+    speed: SpeedModel,
+    /// `chain[m]` = feasible successor arcs of task `m`.
+    chain: Vec<Vec<ChainEdge>>,
+    /// Task indices sorted by completion deadline — a topological order of
+    /// every chain arc (an arc implies `t̄⁺ₘ ≤ t̄⁻ₘ' < t̄⁺ₘ'`).
+    topo: Vec<u32>,
+}
+
+impl Market {
+    /// Builds a market from explicit drivers and tasks.
+    ///
+    /// `max_chain_wait` optionally prunes chain arcs whose idle gap exceeds
+    /// the cap (see [`MarketBuildOptions::max_chain_wait`]).
+    #[must_use]
+    pub fn new(
+        drivers: Vec<Driver>,
+        tasks: Vec<Task>,
+        speed: SpeedModel,
+        max_chain_wait: Option<TimeDelta>,
+    ) -> Self {
+        let chain = build_chain_arcs(&tasks, speed, max_chain_wait);
+        let mut topo: Vec<u32> = (0..tasks.len() as u32).collect();
+        topo.sort_by_key(|&m| tasks[m as usize].completion_deadline);
+        Self {
+            drivers,
+            tasks,
+            speed,
+            chain,
+            topo,
+        }
+    }
+
+    /// Builds a market from a generated trace: prices every trip with the
+    /// surge fare of Eq. 15 and draws customer valuations.
+    ///
+    /// Multipliers come from a static whole-day demand/supply snapshot by
+    /// default, or from a rolling publish-time window when
+    /// [`MarketBuildOptions::surge_window`] is set.
+    #[must_use]
+    pub fn from_trace(trace: &Trace, opts: &MarketBuildOptions) -> Self {
+        let multipliers = match opts.surge_window {
+            Some(window) => dynamic_multipliers(trace, opts, window),
+            None => static_multipliers(trace, opts),
+        };
+
+        let mut rng = StdRng::seed_from_u64(opts.wtp_seed);
+        let tasks: Vec<Task> = trace
+            .trips
+            .iter()
+            .zip(&multipliers)
+            .map(|(t, &alpha)| {
+                let window = t.completion_deadline - t.pickup_deadline;
+                let price = opts.fare.price(t.distance_km, window, alpha);
+                let valuation = opts.wtp.sample(&mut rng, price);
+                Task {
+                    id: t.id,
+                    publish_time: t.publish_time,
+                    origin: t.origin,
+                    destination: t.destination,
+                    pickup_deadline: t.pickup_deadline,
+                    completion_deadline: t.completion_deadline,
+                    duration: t.duration,
+                    price,
+                    valuation,
+                    service_cost: trace.speed.cost_for_km(t.distance_km),
+                }
+            })
+            .collect();
+        let drivers: Vec<Driver> = trace
+            .drivers
+            .iter()
+            .map(|d| Driver {
+                id: d.id,
+                source: d.source,
+                destination: d.destination,
+                shift_start: d.shift_start,
+                shift_end: d.shift_end,
+                model: d.model,
+            })
+            .collect();
+        Self::new(drivers, tasks, trace.speed, opts.max_chain_wait)
+    }
+
+    /// The drivers, indexed by [`DriverId::index`].
+    #[must_use]
+    pub fn drivers(&self) -> &[Driver] {
+        &self.drivers
+    }
+
+    /// The tasks, indexed by [`TaskId::index`].
+    #[must_use]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of drivers `N`.
+    #[must_use]
+    pub fn num_drivers(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Number of tasks `M`.
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The shared travel model.
+    #[must_use]
+    pub fn speed(&self) -> SpeedModel {
+        self.speed
+    }
+
+    /// Feasible chain successors of task `m` (driver-independent part of
+    /// Eq. 3).
+    #[must_use]
+    pub fn chain_edges(&self, m: usize) -> &[ChainEdge] {
+        &self.chain[m]
+    }
+
+    /// Total number of chain arcs in the shared task map.
+    #[must_use]
+    pub fn chain_arc_count(&self) -> usize {
+        self.chain.iter().map(Vec::len).sum()
+    }
+
+    /// Task indices in a topological order of the chain DAG (sorted by
+    /// completion deadline).
+    #[must_use]
+    pub fn topo_order(&self) -> &[u32] {
+        &self.topo
+    }
+
+    /// Whether the chain arc `m → m'` exists.
+    #[must_use]
+    pub fn has_chain_edge(&self, m: usize, m_next: usize) -> bool {
+        self.chain[m].iter().any(|e| e.to as usize == m_next)
+    }
+
+    /// The driver's baseline commute cost `cₙ,₀,₋₁` (source to destination
+    /// without serving anyone), refunded in the excess-cost objective.
+    #[must_use]
+    pub fn direct_cost(&self, driver: usize) -> Money {
+        let d = &self.drivers[driver];
+        self.speed.travel_cost(d.source, d.destination)
+    }
+
+    /// The diameter bound `D` used by Theorem 1: the maximum number of task
+    /// nodes on any source→sink path, computed on the shared chain DAG
+    /// (an upper bound on every driver's own diameter).
+    #[must_use]
+    pub fn chain_diameter(&self) -> usize {
+        // Longest path in DAG by node count, DP over topo order.
+        let m = self.tasks.len();
+        let mut depth = vec![1usize; m];
+        let mut best = 0usize;
+        for &u in &self.topo {
+            let du = depth[u as usize];
+            best = best.max(du);
+            for e in &self.chain[u as usize] {
+                let v = e.to as usize;
+                if du + 1 > depth[v] {
+                    depth[v] = du + 1;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Static surge: one whole-day demand/supply snapshot per cell (the
+/// evaluation-friendly default — every task in a cell sees one multiplier).
+fn static_multipliers(trace: &Trace, opts: &MarketBuildOptions) -> Vec<f64> {
+    let mut surge = SurgeEngine::new(opts.surge);
+    let (rows, cols) = opts.surge_grid;
+    let grid: GridIndex<u32> = GridIndex::new(trace.bbox, rows, cols);
+    for trip in &trace.trips {
+        surge.add_demand(grid.cell_of(trip.origin));
+    }
+    for d in &trace.drivers {
+        surge.add_supply(grid.cell_of(d.source));
+    }
+    trace
+        .trips
+        .iter()
+        .map(|t| surge.multiplier(grid.cell_of(t.origin)))
+        .collect()
+}
+
+/// Dynamic surge: at each task's publish instant, demand is the number of
+/// orders published in its cell within the trailing `window`, and supply is
+/// the number of drivers whose shift covers that instant and whose source
+/// lies in the cell (position-at-publish is unknowable offline; the home
+/// cell is the standard approximation).
+fn dynamic_multipliers(
+    trace: &Trace,
+    opts: &MarketBuildOptions,
+    window: TimeDelta,
+) -> Vec<f64> {
+    assert!(window.is_non_negative(), "surge window must be non-negative");
+    let (rows, cols) = opts.surge_grid;
+    let grid: GridIndex<u32> = GridIndex::new(trace.bbox, rows, cols);
+
+    // Per-cell FIFO of recent publish times (trips arrive publish-sorted).
+    let mut recent: std::collections::HashMap<rideshare_geo::CellId, std::collections::VecDeque<Timestamp>> =
+        std::collections::HashMap::new();
+    // Per-cell driver shifts.
+    let mut shifts: std::collections::HashMap<rideshare_geo::CellId, Vec<(Timestamp, Timestamp)>> =
+        std::collections::HashMap::new();
+    for d in &trace.drivers {
+        shifts
+            .entry(grid.cell_of(d.source))
+            .or_default()
+            .push((d.shift_start, d.shift_end));
+    }
+
+    let mut out = Vec::with_capacity(trace.trips.len());
+    for t in &trace.trips {
+        let cell = grid.cell_of(t.origin);
+        let q = recent.entry(cell).or_default();
+        while let Some(&front) = q.front() {
+            if front < t.publish_time - window {
+                q.pop_front();
+            } else {
+                break;
+            }
+        }
+        q.push_back(t.publish_time);
+        let demand = q.len() as u32;
+        let supply = shifts
+            .get(&cell)
+            .map_or(0, |v| {
+                v.iter()
+                    .filter(|(s, e)| *s <= t.publish_time && t.publish_time <= *e)
+                    .count()
+            }) as u32;
+        out.push(opts.surge.multiplier_for(demand, supply));
+    }
+    out
+}
+
+/// Builds the driver-independent chain arcs: `m → m'` exists iff both task
+/// windows are internally feasible and the empty drive fits the gap,
+/// `lₘ,ₘ' ≤ t̄⁻ₘ' − t̄⁺ₘ` (Eq. 3's shared conjuncts).
+fn build_chain_arcs(
+    tasks: &[Task],
+    speed: SpeedModel,
+    max_chain_wait: Option<TimeDelta>,
+) -> Vec<Vec<ChainEdge>> {
+    let m = tasks.len();
+    let mut order: Vec<u32> = (0..m as u32).collect();
+    order.sort_by_key(|&i| tasks[i as usize].pickup_deadline);
+
+    let mut chain: Vec<Vec<ChainEdge>> = vec![Vec::new(); m];
+    for (mi, from) in tasks.iter().enumerate() {
+        if !from.window_feasible() {
+            continue;
+        }
+        // Candidate successors must have pickup deadline after `from`'s
+        // completion deadline; scan the pickup-sorted order from that point.
+        let start = order.partition_point(|&j| {
+            tasks[j as usize].pickup_deadline < from.completion_deadline
+        });
+        for &j in &order[start..] {
+            let to = &tasks[j as usize];
+            if !to.window_feasible() {
+                continue;
+            }
+            let gap = to.pickup_deadline - from.completion_deadline;
+            debug_assert!(gap.is_non_negative());
+            if let Some(cap) = max_chain_wait {
+                if gap > cap {
+                    continue;
+                }
+            }
+            let travel = speed.travel_time(from.destination, to.origin);
+            if travel <= gap {
+                chain[mi].push(ChainEdge {
+                    to: j,
+                    cost: speed.travel_cost(from.destination, to.origin).as_f64(),
+                    travel,
+                });
+            }
+        }
+        chain[mi].sort_by_key(|e| e.to);
+    }
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rideshare_trace::TraceConfig;
+
+    fn pt(km_east: f64) -> GeoPoint {
+        GeoPoint::new(41.15, -8.61).offset_km(0.0, km_east)
+    }
+
+    /// A hand-built task at `origin`, zero length, window `[start, end]`.
+    fn stationary_task(id: u32, at: GeoPoint, start: i64, end: i64, price: f64) -> Task {
+        Task {
+            id: TaskId::new(id),
+            publish_time: Timestamp::from_secs(start - 60),
+            origin: at,
+            destination: at,
+            pickup_deadline: Timestamp::from_secs(start),
+            completion_deadline: Timestamp::from_secs(end),
+            duration: TimeDelta::from_secs(0),
+            price: Money::new(price),
+            valuation: Money::new(price * 1.2),
+            service_cost: Money::ZERO,
+        }
+    }
+
+    fn fast_speed() -> SpeedModel {
+        SpeedModel::new(60.0, 1.0, 0.1)
+    }
+
+    #[test]
+    fn chain_arc_requires_time_for_empty_drive() {
+        // Task 0 at km 0 ends t=0; task 1 at km 10 starts at t=300 (5 min).
+        // At 60 km/h the 10 km drive takes 10 min → no arc. At t=1200 → arc.
+        let t0 = stationary_task(0, pt(0.0), -600, 0, 5.0);
+        let near = stationary_task(1, pt(10.0), 300, 900, 5.0);
+        let far = stationary_task(2, pt(10.0), 1200, 1800, 5.0);
+        let market = Market::new(vec![], vec![t0, near, far], fast_speed(), None);
+        assert!(!market.has_chain_edge(0, 1));
+        assert!(market.has_chain_edge(0, 2));
+        // Arcs never go backwards in time.
+        assert!(!market.has_chain_edge(2, 0));
+        let e = market.chain_edges(0)[0];
+        assert_eq!(e.to, 2);
+        assert!((e.cost - 1.0).abs() < 1e-6, "10 km at 0.1/km");
+    }
+
+    #[test]
+    fn max_chain_wait_prunes_long_idles() {
+        let t0 = stationary_task(0, pt(0.0), -600, 0, 5.0);
+        let later = stationary_task(1, pt(1.0), 7200, 7800, 5.0);
+        let unpruned = Market::new(vec![], vec![t0, later], fast_speed(), None);
+        assert!(unpruned.has_chain_edge(0, 1));
+        let pruned = Market::new(
+            vec![],
+            vec![t0, later],
+            fast_speed(),
+            Some(TimeDelta::from_mins(30)),
+        );
+        assert!(!pruned.has_chain_edge(0, 1));
+    }
+
+    #[test]
+    fn window_infeasible_task_has_no_arcs() {
+        let mut bad = stationary_task(0, pt(0.0), 0, 600, 5.0);
+        bad.duration = TimeDelta::from_secs(900); // longer than its window
+        let ok = stationary_task(1, pt(0.0), 1200, 1800, 5.0);
+        let market = Market::new(vec![], vec![bad, ok], fast_speed(), None);
+        assert!(!market.has_chain_edge(0, 1));
+        assert!(!market.tasks()[0].window_feasible());
+    }
+
+    #[test]
+    fn topo_order_respects_chain_arcs() {
+        let trace = TraceConfig::porto()
+            .with_seed(8)
+            .with_task_count(150)
+            .with_driver_count(5, DriverModel::Hitchhiking)
+            .generate();
+        let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+        let mut pos = vec![0usize; market.num_tasks()];
+        for (i, &t) in market.topo_order().iter().enumerate() {
+            pos[t as usize] = i;
+        }
+        for m in 0..market.num_tasks() {
+            for e in market.chain_edges(m) {
+                assert!(pos[m] < pos[e.to as usize], "arc {m}→{} backwards", e.to);
+            }
+        }
+    }
+
+    #[test]
+    fn from_trace_prices_cover_costs() {
+        let trace = TraceConfig::porto()
+            .with_seed(2)
+            .with_task_count(200)
+            .with_driver_count(20, DriverModel::Hitchhiking)
+            .generate();
+        let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+        assert_eq!(market.num_tasks(), 200);
+        assert_eq!(market.num_drivers(), 20);
+        for t in market.tasks() {
+            assert!(t.valuation >= t.price, "IR: bₘ ≥ pₘ");
+            assert!(
+                t.margin(Objective::Profit).is_strictly_positive(),
+                "porto fares exceed fuel cost"
+            );
+            assert!(t.margin(Objective::Welfare) >= t.margin(Objective::Profit));
+        }
+    }
+
+    #[test]
+    fn surge_raises_hotspot_prices() {
+        let trace = TraceConfig::porto()
+            .with_seed(3)
+            .with_task_count(400)
+            .with_driver_count(5, DriverModel::Hitchhiking) // scarce supply
+            .generate();
+        let surged = Market::from_trace(&trace, &MarketBuildOptions::default());
+        let flat = Market::from_trace(
+            &trace,
+            &MarketBuildOptions {
+                surge: SurgeConfig::disabled(),
+                ..Default::default()
+            },
+        );
+        let total_surged: f64 = surged.tasks().iter().map(|t| t.price.as_f64()).sum();
+        let total_flat: f64 = flat.tasks().iter().map(|t| t.price.as_f64()).sum();
+        assert!(
+            total_surged > total_flat * 1.02,
+            "surged {total_surged} vs flat {total_flat}"
+        );
+    }
+
+    #[test]
+    fn dynamic_surge_reprices_at_publish_time() {
+        let trace = TraceConfig::porto()
+            .with_seed(4)
+            .with_task_count(300)
+            .with_driver_count(4, DriverModel::Hitchhiking)
+            .generate();
+        let static_m = Market::from_trace(&trace, &MarketBuildOptions::default());
+        let dynamic_m = Market::from_trace(
+            &trace,
+            &MarketBuildOptions {
+                surge_window: Some(TimeDelta::from_mins(30)),
+                ..Default::default()
+            },
+        );
+        // Same tasks, same geometry, different multipliers somewhere.
+        assert_eq!(static_m.num_tasks(), dynamic_m.num_tasks());
+        let diff = static_m
+            .tasks()
+            .iter()
+            .zip(dynamic_m.tasks())
+            .filter(|(a, b)| !a.price.approx_eq(b.price))
+            .count();
+        assert!(diff > 0, "dynamic window must change some prices");
+        // Surge never discounts: every price at least the flat fare.
+        let flat = Market::from_trace(
+            &trace,
+            &MarketBuildOptions {
+                surge: SurgeConfig::disabled(),
+                ..Default::default()
+            },
+        );
+        for (d, f) in dynamic_m.tasks().iter().zip(flat.tasks()) {
+            assert!(d.price + Money::new(1e-9) >= f.price);
+        }
+        // IR still holds after repricing.
+        for t in dynamic_m.tasks() {
+            assert!(t.valuation >= t.price);
+        }
+    }
+
+    #[test]
+    fn diameter_of_sequential_chain() {
+        // Three tasks in strict sequence → diameter 3.
+        let a = stationary_task(0, pt(0.0), 0, 600, 1.0);
+        let b = stationary_task(1, pt(0.0), 1200, 1800, 1.0);
+        let c = stationary_task(2, pt(0.0), 2400, 3000, 1.0);
+        let market = Market::new(vec![], vec![a, b, c], fast_speed(), None);
+        assert_eq!(market.chain_diameter(), 3);
+        assert_eq!(market.chain_arc_count(), 3); // a→b, a→c, b→c
+    }
+
+    #[test]
+    fn direct_cost_matches_speed_model() {
+        let d = Driver {
+            id: DriverId::new(0),
+            source: pt(0.0),
+            destination: pt(30.0),
+            shift_start: Timestamp::EPOCH,
+            shift_end: Timestamp::from_hours(8),
+            model: DriverModel::Hitchhiking,
+        };
+        let market = Market::new(vec![d], vec![], fast_speed(), None);
+        assert!((market.direct_cost(0).as_f64() - 3.0).abs() < 1e-6);
+    }
+}

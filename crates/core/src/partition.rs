@@ -1,0 +1,239 @@
+//! Geographic partitioning — the paper's distributed-deployment story.
+//!
+//! §I argues the market "can be partitioned … in city's scale" but warns
+//! that *within* a big city further partitioning is lossy "because the
+//! riders and drivers generally travel across the city". This module makes
+//! both halves of that claim testable:
+//!
+//! - [`partition_market`] splits a market into `k × k` grid-cell
+//!   sub-markets (tasks by pickup cell, drivers by source cell) that can be
+//!   solved independently — the embarrassingly parallel deployment mode,
+//! - [`solve_partitioned`] runs the greedy on every sub-market and merges
+//!   the per-cell assignments into one feasible global assignment,
+//!
+//! so the *partitioning loss* (global greedy profit vs merged partitioned
+//! profit) is a measurable quantity; the `ablations` experiment binary
+//! reports it.
+
+use rideshare_geo::GridIndex;
+use rideshare_types::{DriverId, TaskId};
+
+use crate::assignment::Assignment;
+use crate::greedy::solve_greedy;
+use crate::market::{Market, Objective};
+
+/// One grid cell's sub-market, with maps back to global indices.
+#[derive(Clone, Debug)]
+pub struct SubMarket {
+    /// The standalone sub-market (locally re-indexed drivers and tasks).
+    pub market: Market,
+    /// Global driver index of each local driver.
+    pub driver_map: Vec<usize>,
+    /// Global task index of each local task.
+    pub task_map: Vec<usize>,
+}
+
+/// Splits `market` into per-cell sub-markets over a `k × k` grid covering
+/// all of its locations.
+///
+/// A task belongs to the cell of its pickup; a driver to the cell of her
+/// source. Empty cells produce no sub-market. The union of all sub-markets
+/// covers every driver and task exactly once, so merged solutions satisfy
+/// the global node-disjointness constraint (5a) by construction.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn partition_market(market: &Market, k: u16) -> Vec<SubMarket> {
+    assert!(k > 0, "need at least one cell");
+    // Cover all market locations.
+    let mut pts = market
+        .drivers()
+        .iter()
+        .map(|d| d.source)
+        .chain(market.tasks().iter().map(|t| t.origin));
+    let Some(first) = pts.next() else {
+        return Vec::new();
+    };
+    let (mut lat_lo, mut lat_hi) = (first.lat(), first.lat());
+    let (mut lon_lo, mut lon_hi) = (first.lon(), first.lon());
+    for p in pts {
+        lat_lo = lat_lo.min(p.lat());
+        lat_hi = lat_hi.max(p.lat());
+        lon_lo = lon_lo.min(p.lon());
+        lon_hi = lon_hi.max(p.lon());
+    }
+    let bbox = rideshare_geo::BoundingBox::new(
+        lat_lo - 1e-6,
+        lat_hi + 1e-6,
+        lon_lo - 1e-6,
+        lon_hi + 1e-6,
+    );
+    let grid: GridIndex<u32> = GridIndex::new(bbox, k, k);
+
+    let cells = k as usize * k as usize;
+    let mut cell_drivers: Vec<Vec<usize>> = vec![Vec::new(); cells];
+    let mut cell_tasks: Vec<Vec<usize>> = vec![Vec::new(); cells];
+    let flat = |c: rideshare_geo::CellId| c.row() as usize * k as usize + c.col() as usize;
+    for (i, d) in market.drivers().iter().enumerate() {
+        cell_drivers[flat(grid.cell_of(d.source))].push(i);
+    }
+    for (i, t) in market.tasks().iter().enumerate() {
+        cell_tasks[flat(grid.cell_of(t.origin))].push(i);
+    }
+
+    let mut out = Vec::new();
+    for cell in 0..cells {
+        if cell_drivers[cell].is_empty() && cell_tasks[cell].is_empty() {
+            continue;
+        }
+        let mut drivers = Vec::with_capacity(cell_drivers[cell].len());
+        for (local, &g) in cell_drivers[cell].iter().enumerate() {
+            let mut d = market.drivers()[g];
+            d.id = DriverId::new(local as u32);
+            drivers.push(d);
+        }
+        let mut tasks = Vec::with_capacity(cell_tasks[cell].len());
+        for (local, &g) in cell_tasks[cell].iter().enumerate() {
+            let mut t = market.tasks()[g];
+            t.id = TaskId::new(local as u32);
+            tasks.push(t);
+        }
+        out.push(SubMarket {
+            market: Market::new(drivers, tasks, market.speed(), None),
+            driver_map: cell_drivers[cell].clone(),
+            task_map: cell_tasks[cell].clone(),
+        });
+    }
+    out
+}
+
+/// Solves every sub-market with the greedy GA and merges the results into
+/// one global assignment.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_core::{partition::solve_partitioned, solve_greedy, Market, MarketBuildOptions, Objective};
+/// use rideshare_trace::{DriverModel, TraceConfig};
+///
+/// let trace = TraceConfig::porto()
+///     .with_seed(8)
+///     .with_task_count(120)
+///     .with_driver_count(20, DriverModel::Hitchhiking)
+///     .generate();
+/// let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+/// let merged = solve_partitioned(&market, 3, Objective::Profit);
+/// merged.validate(&market).unwrap();
+/// // Partitioning never beats the global solver's information.
+/// let global = solve_greedy(&market, Objective::Profit);
+/// let g = global.assignment.objective_value(&market, Objective::Profit);
+/// let p = merged.objective_value(&market, Objective::Profit);
+/// assert!(p.as_f64() <= g.as_f64() + 1e-6);
+/// ```
+#[must_use]
+pub fn solve_partitioned(market: &Market, k: u16, objective: Objective) -> Assignment {
+    let mut merged = Assignment::empty(market.num_drivers());
+    for sub in partition_market(market, k) {
+        let local = solve_greedy(&sub.market, objective);
+        for (local_d, route) in local.assignment.routes().iter().enumerate() {
+            if route.tasks.is_empty() {
+                continue;
+            }
+            let global_driver = DriverId::new(sub.driver_map[local_d] as u32);
+            let tasks: Vec<TaskId> = route
+                .tasks
+                .iter()
+                .map(|t| TaskId::new(sub.task_map[t.index()] as u32))
+                .collect();
+            merged.set_route(global_driver, tasks);
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::MarketBuildOptions;
+    use rideshare_trace::{DriverModel, TraceConfig};
+
+    fn market(seed: u64, tasks: usize, drivers: usize) -> Market {
+        let trace = TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, DriverModel::Hitchhiking)
+            .generate();
+        Market::from_trace(&trace, &MarketBuildOptions::default())
+    }
+
+    #[test]
+    fn partition_covers_everything_once() {
+        let m = market(81, 150, 25);
+        for k in [1u16, 2, 4] {
+            let subs = partition_market(&m, k);
+            let mut seen_d = vec![false; m.num_drivers()];
+            let mut seen_t = vec![false; m.num_tasks()];
+            for sub in &subs {
+                for &d in &sub.driver_map {
+                    assert!(!seen_d[d], "driver {d} in two cells");
+                    seen_d[d] = true;
+                }
+                for &t in &sub.task_map {
+                    assert!(!seen_t[t], "task {t} in two cells");
+                    seen_t[t] = true;
+                }
+                assert_eq!(sub.market.num_drivers(), sub.driver_map.len());
+                assert_eq!(sub.market.num_tasks(), sub.task_map.len());
+            }
+            assert!(seen_d.iter().all(|&x| x), "driver lost at k={k}");
+            assert!(seen_t.iter().all(|&x| x), "task lost at k={k}");
+        }
+    }
+
+    #[test]
+    fn k1_partition_matches_global_greedy() {
+        let m = market(82, 100, 15);
+        let merged = solve_partitioned(&m, 1, Objective::Profit);
+        let global = solve_greedy(&m, Objective::Profit);
+        let a = merged.objective_value(&m, Objective::Profit);
+        let b = global.assignment.objective_value(&m, Objective::Profit);
+        assert!(a.approx_eq(b), "k=1 {a} vs global {b}");
+    }
+
+    #[test]
+    fn merged_assignment_is_globally_feasible() {
+        let m = market(83, 200, 30);
+        for k in [2u16, 3, 6] {
+            let merged = solve_partitioned(&m, k, Objective::Profit);
+            merged.validate(&m).unwrap();
+        }
+    }
+
+    #[test]
+    fn partitioning_is_lossy_within_a_city() {
+        // §I's point: fine partitions of one city lose cross-cell matches.
+        let m = market(84, 250, 40);
+        let global = solve_greedy(&m, Objective::Profit)
+            .assignment
+            .objective_value(&m, Objective::Profit)
+            .as_f64();
+        let fine = solve_partitioned(&m, 6, Objective::Profit)
+            .objective_value(&m, Objective::Profit)
+            .as_f64();
+        assert!(fine <= global + 1e-6);
+        assert!(
+            fine < global * 0.95,
+            "expected visible partitioning loss: fine {fine} vs global {global}"
+        );
+    }
+
+    #[test]
+    fn empty_market_partitions_to_nothing() {
+        let m = Market::new(vec![], vec![], rideshare_geo::SpeedModel::urban(), None);
+        assert!(partition_market(&m, 4).is_empty());
+        let a = solve_partitioned(&m, 4, Objective::Profit);
+        assert_eq!(a.routes().len(), 0);
+    }
+}

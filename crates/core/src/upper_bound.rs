@@ -1,0 +1,350 @@
+//! The LP-relaxation upper bound `Z_f*` via column generation.
+//!
+//! §III-E relaxes the integrality constraints of the flow formulation; the
+//! paper uses the fractional optimum `Z_f* ≥ Z* = OPT` as the evaluation
+//! yardstick for every algorithm (§VI-B). We compute it on the equivalent
+//! path formulation (Eq. 9–10): by flow decomposition on a DAG the two
+//! relaxations have the same optimum, and the path LP is a *packing LP*
+//! with one row per driver and one row per task — but exponentially many
+//! columns.
+//!
+//! Column generation handles that: the restricted master problem
+//! ([`rideshare_lp::PackingLp`]) holds the columns generated so far, and the
+//! pricing subproblem for driver `i` asks for the path maximising the
+//! reduced cost `r_π − Σ_{m∈π} μₘ − λᵢ` — exactly a longest-path query in
+//! driver `i`'s task-map DAG with dual-adjusted node weights, solved by
+//! [`crate::DriverView::best_path_priced`] in linear time. When no path
+//! prices positive the master optimum *is* `Z_f*`; if the round budget is
+//! hit first, the Lagrangian bound `master + Σᵢ max(0, best reduced cost)`
+//! is still a valid upper bound and is reported with `converged = false`.
+
+use rideshare_lp::PackingLp;
+use rideshare_types::{Money, Result};
+
+use crate::greedy::solve_greedy;
+use crate::market::{Market, Objective};
+use crate::view::DriverView;
+
+/// Options for [`lp_upper_bound`].
+#[derive(Clone, Copy, Debug)]
+pub struct UpperBoundOptions {
+    /// Maximum column-generation rounds (each round prices all drivers).
+    pub max_rounds: usize,
+    /// Reduced-cost tolerance for accepting a new column.
+    pub pricing_tolerance: f64,
+    /// Warm-start the master with the greedy solution's paths.
+    pub warm_start_greedy: bool,
+    /// Purge clearly-unattractive non-basic columns whenever the master
+    /// holds more than `purge_factor × (N + M)` of them (0 purges every
+    /// round). Purging only trims the tableau; the pricing oracle
+    /// regenerates anything that becomes attractive again, so the bound is
+    /// unaffected.
+    pub purge_factor: usize,
+}
+
+impl Default for UpperBoundOptions {
+    fn default() -> Self {
+        Self {
+            max_rounds: 60,
+            pricing_tolerance: 1e-6,
+            warm_start_greedy: true,
+            purge_factor: 4,
+        }
+    }
+}
+
+/// Result of [`lp_upper_bound`].
+#[derive(Clone, Copy, Debug)]
+pub struct UpperBoundResult {
+    /// A valid upper bound on the integral optimum `Z*`. Equal to `Z_f*`
+    /// when `converged` is true.
+    pub bound: f64,
+    /// The restricted master LP's final objective (a lower bound on
+    /// `Z_f*`).
+    pub master_objective: f64,
+    /// Column-generation rounds executed.
+    pub rounds: usize,
+    /// Path columns generated in total.
+    pub columns: usize,
+    /// Whether pricing proved optimality (no positive reduced cost left).
+    pub converged: bool,
+}
+
+/// Computes the LP-relaxation upper bound `Z_f*` (§III-E) by column
+/// generation.
+///
+/// # Errors
+///
+/// Propagates LP solver failures ([`rideshare_types::MarketError`]); these
+/// indicate an iteration-budget exhaustion, not an invalid market.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_core::{lp_upper_bound, solve_greedy, Market, MarketBuildOptions, Objective, UpperBoundOptions};
+/// use rideshare_trace::{DriverModel, TraceConfig};
+///
+/// let trace = TraceConfig::porto()
+///     .with_seed(5)
+///     .with_task_count(60)
+///     .with_driver_count(8, DriverModel::Hitchhiking)
+///     .generate();
+/// let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+/// let greedy = solve_greedy(&market, Objective::Profit);
+/// let ub = lp_upper_bound(&market, Objective::Profit, UpperBoundOptions::default()).unwrap();
+/// let achieved = greedy.assignment.objective_value(&market, Objective::Profit);
+/// assert!(ub.bound + 1e-6 >= achieved.as_f64());
+/// ```
+pub fn lp_upper_bound(
+    market: &Market,
+    objective: Objective,
+    opts: UpperBoundOptions,
+) -> Result<UpperBoundResult> {
+    let n = market.num_drivers();
+    let m = market.num_tasks();
+    if n == 0 || m == 0 {
+        return Ok(UpperBoundResult {
+            bound: 0.0,
+            master_objective: 0.0,
+            rounds: 0,
+            columns: 0,
+            converged: true,
+        });
+    }
+    // Rows 0..n are driver convexity rows (10a as ≤ 1); rows n..n+m are the
+    // task node-disjointness rows (10b).
+    let mut master = PackingLp::new(n + m);
+    let views: Vec<DriverView> = (0..n).map(|i| DriverView::new(market, i)).collect();
+
+    let mut columns = 0usize;
+    let mut add_path = |master: &mut PackingLp, driver: usize, tasks: &[u32], profit: f64| {
+        let mut support = Vec::with_capacity(tasks.len() + 1);
+        support.push(driver);
+        let mut rows: Vec<usize> = tasks.iter().map(|&t| n + t as usize).collect();
+        rows.sort_unstable();
+        support.extend(rows);
+        master.add_column(profit, &support);
+        columns += 1;
+    };
+
+    if opts.warm_start_greedy {
+        let greedy = solve_greedy(market, objective);
+        for (i, route) in greedy.assignment.routes().iter().enumerate() {
+            if route.tasks.is_empty() {
+                continue;
+            }
+            let tasks: Vec<u32> = route.tasks.iter().map(|t| t.raw()).collect();
+            let profit = views[i].path_profit(market, objective, &tasks);
+            if profit.is_strictly_positive() {
+                add_path(&mut master, i, &tasks, profit.as_f64());
+            }
+        }
+    }
+
+    let removed = vec![false; m];
+    let mut rounds = 0usize;
+    let mut converged = false;
+    let mut master_objective = master.optimize()?;
+    let mut slack_bound = 0.0f64;
+
+    while rounds < opts.max_rounds {
+        rounds += 1;
+        let duals = master.duals();
+        let mut any = false;
+        slack_bound = 0.0;
+        for (i, view) in views.iter().enumerate() {
+            let lambda = duals[i];
+            let priced = view.best_path_priced(
+                market,
+                objective,
+                &removed,
+                |t| duals[n + t],
+                lambda,
+            );
+            // `priced.profit` is the reduced cost of the best column for
+            // driver i (the empty path contributes −λᵢ ≤ 0, so a positive
+            // value certifies an improving path).
+            if priced.profit > opts.pricing_tolerance && !priced.tasks.is_empty() {
+                let true_profit = view.path_profit(market, objective, &priced.tasks);
+                add_path(&mut master, i, &priced.tasks, true_profit.as_f64());
+                any = true;
+            }
+            slack_bound += priced.profit.max(0.0);
+        }
+        if !any {
+            converged = true;
+            break;
+        }
+        master_objective = master.optimize()?;
+        // Keep the tableau compact: drop non-basic columns that price
+        // clearly unattractive. The oracle regenerates any column that
+        // becomes attractive again, so this does not affect correctness —
+        // only the per-pivot cost, which is linear in tableau width.
+        if master.num_columns() > opts.purge_factor * (n + m) {
+            master.purge(1e-6);
+        }
+    }
+
+    // Lagrangian safety net: Z_f* ≤ master + Σᵢ (best reduced cost)⁺,
+    // evaluated at the master's final duals. Zero at convergence.
+    let bound = if converged {
+        master_objective
+    } else {
+        // Recompute the pricing gap at the final duals.
+        let duals = master.duals();
+        let mut gap = 0.0;
+        for (i, view) in views.iter().enumerate() {
+            let priced =
+                view.best_path_priced(market, objective, &removed, |t| duals[n + t], duals[i]);
+            gap += priced.profit.max(0.0);
+        }
+        let _ = slack_bound;
+        master_objective + gap
+    };
+
+    Ok(UpperBoundResult {
+        bound,
+        master_objective,
+        rounds,
+        columns,
+        converged,
+    })
+}
+
+/// Convenience: the paper's *performance ratio* — an algorithm's achieved
+/// objective divided by the upper bound (so 1.0 is optimal; the paper plots
+/// the inverse orientation in Fig. 5, bound over achieved ≥ 1, which some
+/// readers prefer — we report achieved/bound ∈ [0, 1]).
+#[must_use]
+pub fn performance_ratio(achieved: Money, bound: f64) -> f64 {
+    if bound <= f64::EPSILON {
+        return 1.0;
+    }
+    (achieved.as_f64() / bound).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::MarketBuildOptions;
+    use crate::solve_greedy;
+    use rideshare_trace::{DriverModel, TraceConfig};
+
+    fn market(seed: u64, tasks: usize, drivers: usize, model: DriverModel) -> Market {
+        let trace = TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, model)
+            .generate();
+        Market::from_trace(&trace, &MarketBuildOptions::default())
+    }
+
+    #[test]
+    fn bound_dominates_greedy() {
+        for model in [DriverModel::Hitchhiking, DriverModel::HomeWorkHome] {
+            let m = market(11, 80, 10, model);
+            let greedy = solve_greedy(&m, Objective::Profit);
+            let achieved = greedy.assignment.objective_value(&m, Objective::Profit);
+            let ub = lp_upper_bound(&m, Objective::Profit, UpperBoundOptions::default()).unwrap();
+            assert!(ub.converged, "small instance should converge");
+            assert!(
+                ub.bound + 1e-6 >= achieved.as_f64(),
+                "{model}: bound {} < achieved {achieved}",
+                ub.bound
+            );
+            // The bound is not absurdly loose on a dense small market.
+            assert!(ub.bound <= achieved.as_f64() * 5.0 + 50.0);
+        }
+    }
+
+    #[test]
+    fn warm_start_does_not_change_bound() {
+        let m = market(12, 60, 8, DriverModel::Hitchhiking);
+        let with = lp_upper_bound(&m, Objective::Profit, UpperBoundOptions::default()).unwrap();
+        let without = lp_upper_bound(
+            &m,
+            Objective::Profit,
+            UpperBoundOptions {
+                warm_start_greedy: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(with.converged && without.converged);
+        assert!(
+            (with.bound - without.bound).abs() < 1e-4,
+            "with {} vs without {}",
+            with.bound,
+            without.bound
+        );
+    }
+
+    #[test]
+    fn empty_market_bound_zero() {
+        let m = market(13, 0, 5, DriverModel::Hitchhiking);
+        let ub = lp_upper_bound(&m, Objective::Profit, UpperBoundOptions::default()).unwrap();
+        assert_eq!(ub.bound, 0.0);
+        assert!(ub.converged);
+    }
+
+    #[test]
+    fn truncated_rounds_still_upper_bound() {
+        let m = market(14, 100, 12, DriverModel::Hitchhiking);
+        let full = lp_upper_bound(&m, Objective::Profit, UpperBoundOptions::default()).unwrap();
+        assert!(full.converged);
+        let truncated = lp_upper_bound(
+            &m,
+            Objective::Profit,
+            UpperBoundOptions {
+                max_rounds: 1,
+                warm_start_greedy: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The Lagrangian fallback must still dominate the true Z_f*.
+        assert!(
+            truncated.bound + 1e-6 >= full.bound,
+            "truncated {} < converged {}",
+            truncated.bound,
+            full.bound
+        );
+    }
+
+    #[test]
+    fn aggressive_purging_does_not_change_bound() {
+        let m = market(16, 90, 12, DriverModel::Hitchhiking);
+        let normal = lp_upper_bound(&m, Objective::Profit, UpperBoundOptions::default()).unwrap();
+        let purged = lp_upper_bound(
+            &m,
+            Objective::Profit,
+            UpperBoundOptions {
+                purge_factor: 0, // purge after every round
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(normal.converged && purged.converged);
+        assert!(
+            (normal.bound - purged.bound).abs() < 1e-4,
+            "normal {} vs purged {}",
+            normal.bound,
+            purged.bound
+        );
+    }
+
+    #[test]
+    fn welfare_bound_dominates_profit_bound() {
+        let m = market(15, 70, 9, DriverModel::Hitchhiking);
+        let p = lp_upper_bound(&m, Objective::Profit, UpperBoundOptions::default()).unwrap();
+        let w = lp_upper_bound(&m, Objective::Welfare, UpperBoundOptions::default()).unwrap();
+        assert!(w.bound + 1e-6 >= p.bound, "welfare {} < profit {}", w.bound, p.bound);
+    }
+
+    #[test]
+    fn performance_ratio_clamps() {
+        assert_eq!(performance_ratio(Money::new(5.0), 10.0), 0.5);
+        assert_eq!(performance_ratio(Money::new(15.0), 10.0), 1.0);
+        assert_eq!(performance_ratio(Money::new(0.0), 0.0), 1.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! Per-driver task-map views and the max-profit-path oracle.
+
+use rideshare_types::{Money, TimeDelta};
+
+use crate::market::{Market, Objective};
+
+/// The per-driver part of the task map of §III-B: which tasks driver `n`
+/// can serve at all (Eq. 2's reach and return conjuncts plus Eq. 1), the
+/// source/sink arc costs, and the baseline commute refund.
+///
+/// Combined with the market's shared chain arcs this is exactly the
+/// driver's task-map DAG; [`DriverView::best_path`] runs the longest-path
+/// DP over it (the primitive both Alg. 1 and the pricing oracle use).
+#[derive(Clone, Debug)]
+pub struct DriverView {
+    driver: usize,
+    /// `allowed[m]`: task m is a node of this driver's task map.
+    allowed: Vec<bool>,
+    /// Cost of the source arc `0 → m` (`cₙ,₀,ₘ`), valid where `allowed`.
+    source_cost: Vec<f64>,
+    /// Cost of the sink arc `m → −1` (`cₙ,ₘ,₋₁`), valid where `allowed`.
+    sink_cost: Vec<f64>,
+    /// Baseline commute cost `cₙ,₀,₋₁`, refunded in the objective.
+    direct_cost: f64,
+    feasible_count: usize,
+}
+
+/// A maximum-profit source→sink path for one driver.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BestPath {
+    /// Task indices in service order (empty = the driver serves no one).
+    pub tasks: Vec<u32>,
+    /// The path profit `r_π` (0 for the empty path).
+    pub profit: f64,
+}
+
+impl DriverView {
+    /// Builds the view for `driver` (an index into [`Market::drivers`]).
+    ///
+    /// Cost: `O(M)` distance evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `driver` is out of range.
+    #[must_use]
+    pub fn new(market: &Market, driver: usize) -> Self {
+        let d = &market.drivers()[driver];
+        let speed = market.speed();
+        let m = market.num_tasks();
+        let mut allowed = vec![false; m];
+        let mut source_cost = vec![0.0; m];
+        let mut sink_cost = vec![0.0; m];
+        let mut feasible_count = 0;
+        for (i, t) in market.tasks().iter().enumerate() {
+            if !t.window_feasible() {
+                continue;
+            }
+            // Eq. 2: reach the pickup before its deadline…
+            let reach = speed.travel_time(d.source, t.origin);
+            if reach > t.pickup_deadline - d.shift_start {
+                continue;
+            }
+            // …and still make it home after the drop-off deadline.
+            let back = speed.travel_time(t.destination, d.destination);
+            if back > d.shift_end - t.completion_deadline {
+                continue;
+            }
+            allowed[i] = true;
+            feasible_count += 1;
+            source_cost[i] = speed.travel_cost(d.source, t.origin).as_f64();
+            sink_cost[i] = speed.travel_cost(t.destination, d.destination).as_f64();
+        }
+        Self {
+            driver,
+            allowed,
+            source_cost,
+            sink_cost,
+            direct_cost: market.direct_cost(driver).as_f64(),
+            feasible_count,
+        }
+    }
+
+    /// The driver index this view belongs to.
+    #[must_use]
+    pub fn driver(&self) -> usize {
+        self.driver
+    }
+
+    /// Whether task `m` is a node of this driver's task map (`ĥₙ,ₘ` and the
+    /// reach/return conjuncts of Eq. 2).
+    #[must_use]
+    pub fn is_allowed(&self, m: usize) -> bool {
+        self.allowed[m]
+    }
+
+    /// Number of tasks in this driver's task map.
+    #[must_use]
+    pub fn feasible_task_count(&self) -> usize {
+        self.feasible_count
+    }
+
+    /// The baseline commute cost `cₙ,₀,₋₁`.
+    #[must_use]
+    pub fn direct_cost(&self) -> Money {
+        Money::new(self.direct_cost)
+    }
+
+    /// Maximum-profit path under `objective`, skipping tasks where
+    /// `removed[m]` is true.
+    ///
+    /// Returns the empty path (profit 0) when no task path beats doing
+    /// nothing.
+    #[must_use]
+    pub fn best_path(&self, market: &Market, objective: Objective, removed: &[bool]) -> BestPath {
+        self.best_path_priced(market, objective, removed, |_| 0.0, 0.0)
+    }
+
+    /// Maximum-profit path with per-task dual prices subtracted — the
+    /// column-generation pricing oracle. The returned `profit` is the
+    /// *reduced* value `r_π − Σ_{m∈π} task_dual(m) − driver_dual`; the true
+    /// `r_π` can be recomputed with [`DriverView::path_profit`].
+    ///
+    /// The DP runs over the market's shared topological order in
+    /// `O(M + |chain arcs|)`.
+    #[must_use]
+    pub fn best_path_priced(
+        &self,
+        market: &Market,
+        objective: Objective,
+        removed: &[bool],
+        task_dual: impl Fn(usize) -> f64,
+        driver_dual: f64,
+    ) -> BestPath {
+        let m = market.num_tasks();
+        debug_assert_eq!(removed.len(), m);
+        const NEG: f64 = f64::NEG_INFINITY;
+        // dp[i] = best value of a path from the source ending at task i
+        // (inclusive of i's margin and dual), before the sink arc.
+        let mut dp = vec![NEG; m];
+        let mut pred: Vec<u32> = vec![u32::MAX; m];
+        let tasks = market.tasks();
+
+        let value = |i: usize| tasks[i].margin(objective).as_f64() - task_dual(i);
+
+        for &iu in market.topo_order() {
+            let i = iu as usize;
+            if !self.allowed[i] || removed[i] {
+                continue;
+            }
+            // Source arc.
+            let via_source = self.direct_cost - self.source_cost[i] + value(i);
+            if via_source > dp[i] {
+                dp[i] = via_source;
+                pred[i] = u32::MAX;
+            }
+            if dp[i] == NEG {
+                continue;
+            }
+            for e in market.chain_edges(i) {
+                let j = e.to as usize;
+                if !self.allowed[j] || removed[j] {
+                    continue;
+                }
+                let cand = dp[i] - e.cost + value(j);
+                if cand > dp[j] {
+                    dp[j] = cand;
+                    pred[j] = iu;
+                }
+            }
+        }
+
+        // Close with the sink arc; compare against the empty path.
+        let mut best_end: Option<usize> = None;
+        let mut best = 0.0 - driver_dual; // empty path: profit 0, pays λ
+        for (i, &dpi) in dp.iter().enumerate() {
+            if dpi == NEG {
+                continue;
+            }
+            let total = dpi - self.sink_cost[i] - driver_dual;
+            if total > best {
+                best = total;
+                best_end = Some(i);
+            }
+        }
+        let mut tasks_out = Vec::new();
+        if let Some(mut cur) = best_end {
+            loop {
+                tasks_out.push(cur as u32);
+                let p = pred[cur];
+                if p == u32::MAX {
+                    break;
+                }
+                cur = p as usize;
+            }
+            tasks_out.reverse();
+        }
+        BestPath {
+            tasks: tasks_out,
+            profit: best,
+        }
+    }
+
+    /// The true profit `r_π` of an explicit task sequence for this driver:
+    /// task margins minus connection costs plus the commute refund.
+    ///
+    /// Does **not** check feasibility; pair with
+    /// [`crate::Assignment::validate`].
+    #[must_use]
+    pub fn path_profit(&self, market: &Market, objective: Objective, tasks: &[u32]) -> Money {
+        if tasks.is_empty() {
+            return Money::ZERO;
+        }
+        let ts = market.tasks();
+        let speed = market.speed();
+        let mut total = self.direct_cost - self.source_cost[tasks[0] as usize];
+        for (k, &i) in tasks.iter().enumerate() {
+            total += ts[i as usize].margin(objective).as_f64();
+            if k + 1 < tasks.len() {
+                let j = tasks[k + 1] as usize;
+                total -= speed
+                    .travel_cost(ts[i as usize].destination, ts[j].origin)
+                    .as_f64();
+            }
+        }
+        total -= self.sink_cost[*tasks.last().expect("non-empty") as usize];
+        Money::new(total)
+    }
+
+    /// The added feasibility check for appending `task` directly after the
+    /// driver leaves `from` at `ready_at`: used by the online simulator.
+    ///
+    /// Returns the empty-drive travel time if the driver can reach the
+    /// pickup before its deadline *and* still reach her own destination
+    /// after the task's completion deadline, `None` otherwise.
+    #[must_use]
+    pub fn can_append(
+        &self,
+        market: &Market,
+        from: rideshare_geo::GeoPoint,
+        ready_at: rideshare_types::Timestamp,
+        task: usize,
+    ) -> Option<TimeDelta> {
+        if !self.allowed[task] {
+            return None;
+        }
+        let t = &market.tasks()[task];
+        let travel = market.speed().travel_time(from, t.origin);
+        if ready_at + travel <= t.pickup_deadline {
+            Some(travel)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::{Driver, Task};
+    use rideshare_geo::{GeoPoint, SpeedModel};
+    use rideshare_trace::DriverModel;
+    use rideshare_types::{DriverId, TaskId, Timestamp};
+
+    fn pt(km_east: f64) -> GeoPoint {
+        GeoPoint::new(41.15, -8.61).offset_km(0.0, km_east)
+    }
+
+    fn task(id: u32, at: f64, start: i64, end: i64, price: f64) -> Task {
+        Task {
+            id: TaskId::new(id),
+            publish_time: Timestamp::from_secs(start - 60),
+            origin: pt(at),
+            destination: pt(at),
+            pickup_deadline: Timestamp::from_secs(start),
+            completion_deadline: Timestamp::from_secs(end),
+            duration: TimeDelta::from_secs(0),
+            price: Money::new(price),
+            valuation: Money::new(price + 1.0),
+            service_cost: Money::ZERO,
+        }
+    }
+
+    fn driver(at: f64, dest: f64, start: i64, end: i64) -> Driver {
+        Driver {
+            id: DriverId::new(0),
+            source: pt(at),
+            destination: pt(dest),
+            shift_start: Timestamp::from_secs(start),
+            shift_end: Timestamp::from_secs(end),
+            model: DriverModel::Hitchhiking,
+        }
+    }
+
+    /// 60 km/h, no detour, 0.1/km → 1 km = 1 min = 0.1 cost.
+    fn speed() -> SpeedModel {
+        SpeedModel::new(60.0, 1.0, 0.1)
+    }
+
+    #[test]
+    fn reach_and_return_feasibility() {
+        // Driver at km 0, shift [0, 3600], destination km 0.
+        // Task A at km 10 starting t=1200 (20 min to drive 10 km → ok).
+        // Task B at km 10 starting t=300 (can't reach in 5 min).
+        // Task C at km 10 ending t=3300 (10 min back → misses shift end).
+        let d = driver(0.0, 0.0, 0, 3600);
+        let a = task(0, 10.0, 1200, 1800, 5.0);
+        let b = task(1, 10.0, 300, 900, 5.0);
+        let c = task(2, 10.0, 2700, 3300, 5.0);
+        let market = Market::new(vec![d], vec![a, b, c], speed(), None);
+        let view = DriverView::new(&market, 0);
+        assert!(view.is_allowed(0));
+        assert!(!view.is_allowed(1), "cannot reach pickup in time");
+        assert!(!view.is_allowed(2), "cannot return home in time");
+        assert_eq!(view.feasible_task_count(), 1);
+    }
+
+    #[test]
+    fn best_path_chains_profitable_tasks() {
+        // Two tasks along the driver's 30 km commute, in sequence.
+        let d = driver(0.0, 30.0, 0, 7200);
+        let t1 = task(0, 10.0, 900, 1500, 3.0);
+        let t2 = task(1, 20.0, 2400, 3000, 3.0);
+        let market = Market::new(vec![d], vec![t1, t2], speed(), None);
+        let view = DriverView::new(&market, 0);
+        let best = view.best_path(&market, Objective::Profit, &[false, false]);
+        assert_eq!(best.tasks, vec![0, 1]);
+        // Costs: direct refund 3.0; path drives 0→10→20→30 = 30 km = 3.0.
+        // Profit = 3+3 (margins) − 3.0 + 3.0 = 6.0.
+        assert!((best.profit - 6.0).abs() < 1e-6, "profit {}", best.profit);
+        let recomputed = view.path_profit(&market, Objective::Profit, &best.tasks);
+        assert!(recomputed.approx_eq(Money::new(best.profit)));
+    }
+
+    #[test]
+    fn removal_masks_tasks() {
+        let d = driver(0.0, 30.0, 0, 7200);
+        let t1 = task(0, 10.0, 900, 1500, 3.0);
+        let t2 = task(1, 20.0, 2400, 3000, 3.0);
+        let market = Market::new(vec![d], vec![t1, t2], speed(), None);
+        let view = DriverView::new(&market, 0);
+        let best = view.best_path(&market, Objective::Profit, &[true, false]);
+        assert_eq!(best.tasks, vec![1]);
+        let none = view.best_path(&market, Objective::Profit, &[true, true]);
+        assert!(none.tasks.is_empty());
+        assert_eq!(none.profit, 0.0);
+    }
+
+    #[test]
+    fn unprofitable_detour_left_unserved() {
+        // Task 40 km off the driver's doorstep-to-doorstep commute, paying
+        // far less than the 80 km round trip costs.
+        let d = driver(0.0, 0.0, 0, 36_000);
+        let t = task(0, 40.0, 10_000, 20_000, 1.0);
+        let market = Market::new(vec![d], vec![t], speed(), None);
+        let view = DriverView::new(&market, 0);
+        assert!(view.is_allowed(0));
+        let best = view.best_path(&market, Objective::Profit, &[false]);
+        assert!(best.tasks.is_empty(), "serving would lose money");
+        assert_eq!(best.profit, 0.0);
+    }
+
+    #[test]
+    fn welfare_objective_uses_valuation() {
+        let d = driver(0.0, 0.0, 0, 36_000);
+        // Price 1 (unprofitable to serve), valuation 20 (welfare-positive).
+        let mut t = task(0, 20.0, 10_000, 20_000, 1.0);
+        t.valuation = Money::new(20.0);
+        let market = Market::new(vec![d], vec![t], speed(), None);
+        let view = DriverView::new(&market, 0);
+        assert!(view
+            .best_path(&market, Objective::Profit, &[false])
+            .tasks
+            .is_empty());
+        let welfare = view.best_path(&market, Objective::Welfare, &[false]);
+        assert_eq!(welfare.tasks, vec![0]);
+        // 20 − 4.0 (40 km round trip) + 0 refund = 16.
+        assert!((welfare.profit - 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duals_steer_pricing_oracle() {
+        let d = driver(0.0, 30.0, 0, 7200);
+        let t1 = task(0, 10.0, 900, 1500, 3.0);
+        let t2 = task(1, 20.0, 2400, 3000, 3.0);
+        let market = Market::new(vec![d], vec![t1, t2], speed(), None);
+        let view = DriverView::new(&market, 0);
+        // A huge dual on task 0 prices it out of the path.
+        let priced = view.best_path_priced(
+            &market,
+            Objective::Profit,
+            &[false, false],
+            |m| if m == 0 { 100.0 } else { 0.0 },
+            0.0,
+        );
+        assert_eq!(priced.tasks, vec![1]);
+        // Driver dual shifts the whole path value down.
+        let paid = view.best_path_priced(&market, Objective::Profit, &[false, false], |_| 0.0, 2.0);
+        assert!((paid.profit - 4.0).abs() < 1e-6, "6.0 − λ");
+    }
+
+    #[test]
+    fn can_append_checks_pickup_deadline() {
+        let d = driver(0.0, 30.0, 0, 7200);
+        let t = task(0, 10.0, 1200, 1800, 3.0);
+        let market = Market::new(vec![d], vec![t], speed(), None);
+        let view = DriverView::new(&market, 0);
+        // From km 0 at t=0: 10 min drive, deadline 20 min → fits.
+        let tt = view
+            .can_append(&market, pt(0.0), Timestamp::from_secs(0), 0)
+            .expect("reachable");
+        assert_eq!(tt.as_secs(), 600);
+        // From km 0 at t=700: 600 s drive arrives 1300 > 1200 → no.
+        assert!(view
+            .can_append(&market, pt(0.0), Timestamp::from_secs(700), 0)
+            .is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! Latitude/longitude points and distance computations.
+
+use core::fmt;
+
+/// Mean Earth radius in kilometres (IUGG value).
+pub(crate) const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A geographic point: latitude and longitude in decimal degrees.
+///
+/// This is the paper's location tuple `(u, v)` where `u` is latitude and `v`
+/// is longitude (§III-A).
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_geo::GeoPoint;
+/// let p = GeoPoint::new(41.15, -8.61);
+/// assert_eq!(p.lat(), 41.15);
+/// assert_eq!(p.lon(), -8.61);
+/// assert_eq!(p.haversine_km(p), 0.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct GeoPoint {
+    lat: f64,
+    lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude and longitude in decimal degrees.
+    ///
+    /// Latitude is clamped to `[-90, 90]`; longitude is normalised to
+    /// `(-180, 180]`.
+    #[must_use]
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        // Only renormalise out-of-range longitudes: the wrap-around formula
+        // is not an exact identity in floating point, and in-range inputs
+        // must round-trip bit-for-bit.
+        let lon = if lon > -180.0 && lon <= 180.0 {
+            lon
+        } else {
+            let wrapped = (lon + 180.0).rem_euclid(360.0) - 180.0;
+            if wrapped == -180.0 {
+                180.0
+            } else {
+                wrapped
+            }
+        };
+        Self { lat, lon }
+    }
+
+    /// Returns the latitude in decimal degrees.
+    #[must_use]
+    pub const fn lat(self) -> f64 {
+        self.lat
+    }
+
+    /// Returns the longitude in decimal degrees.
+    #[must_use]
+    pub const fn lon(self) -> f64 {
+        self.lon
+    }
+
+    /// Great-circle distance to `other` in kilometres (haversine formula).
+    ///
+    /// Exact on the spherical Earth model; use
+    /// [`GeoPoint::equirectangular_km`] in hot loops over a city-scale area.
+    #[must_use]
+    pub fn haversine_km(self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
+    }
+
+    /// Equirectangular-projection distance to `other` in kilometres.
+    ///
+    /// Within a city-scale bounding box (tens of km) this is within a small
+    /// fraction of a percent of the haversine distance and roughly 3× faster,
+    /// which matters inside the `O(NM²)` task-map construction.
+    #[must_use]
+    pub fn equirectangular_km(self, other: GeoPoint) -> f64 {
+        let mean_lat = ((self.lat + other.lat) / 2.0).to_radians();
+        let dx = (other.lon - self.lon).to_radians() * mean_lat.cos();
+        let dy = (other.lat - self.lat).to_radians();
+        EARTH_RADIUS_KM * (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Returns the midpoint with `other` using simple coordinate averaging
+    /// (adequate at city scale; not meridian-crossing safe).
+    #[must_use]
+    pub fn midpoint(self, other: GeoPoint) -> GeoPoint {
+        GeoPoint::new((self.lat + other.lat) / 2.0, (self.lon + other.lon) / 2.0)
+    }
+
+    /// Moves the point by the given kilometre offsets (north, east).
+    ///
+    /// Useful for constructing synthetic instances with precise geometry.
+    #[must_use]
+    pub fn offset_km(self, north_km: f64, east_km: f64) -> GeoPoint {
+        let dlat = north_km / EARTH_RADIUS_KM * (180.0 / core::f64::consts::PI);
+        let dlon = east_km
+            / (EARTH_RADIUS_KM * self.lat.to_radians().cos())
+            * (180.0 / core::f64::consts::PI);
+        GeoPoint::new(self.lat + dlat, self.lon + dlon)
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.5}, {:.5})", self.lat, self.lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn porto_downtown() -> GeoPoint {
+        GeoPoint::new(41.1496, -8.6109)
+    }
+
+    #[test]
+    fn normalisation() {
+        let p = GeoPoint::new(95.0, 190.0);
+        assert_eq!(p.lat(), 90.0);
+        assert_eq!(p.lon(), -170.0);
+        let q = GeoPoint::new(0.0, -180.0);
+        assert_eq!(q.lon(), 180.0);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Porto -> Lisbon is roughly 274 km great-circle.
+        let porto = GeoPoint::new(41.1496, -8.6109);
+        let lisbon = GeoPoint::new(38.7223, -9.1393);
+        let d = porto.haversine_km(lisbon);
+        assert!((270.0..280.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric_and_zero_on_self() {
+        let a = porto_downtown();
+        let b = GeoPoint::new(41.2, -8.7);
+        assert!((a.haversine_km(b) - b.haversine_km(a)).abs() < 1e-12);
+        assert_eq!(a.haversine_km(a), 0.0);
+    }
+
+    #[test]
+    fn equirectangular_close_to_haversine_at_city_scale() {
+        let a = porto_downtown();
+        let b = GeoPoint::new(41.20, -8.55);
+        let h = a.haversine_km(b);
+        let e = a.equirectangular_km(b);
+        assert!((h - e).abs() / h < 1e-3, "haversine {h} vs equirect {e}");
+    }
+
+    #[test]
+    fn offset_km_round_trip() {
+        let a = porto_downtown();
+        let b = a.offset_km(3.0, 4.0);
+        let d = a.haversine_km(b);
+        assert!((d - 5.0).abs() < 0.01, "expected ~5 km, got {d}");
+    }
+
+    #[test]
+    fn midpoint_average() {
+        let a = GeoPoint::new(41.0, -8.0);
+        let b = GeoPoint::new(42.0, -9.0);
+        let m = a.midpoint(b);
+        assert!((m.lat() - 41.5).abs() < 1e-12);
+        assert!((m.lon() + 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            GeoPoint::new(41.1, -8.6).to_string(),
+            "(41.10000, -8.60000)"
+        );
+    }
+}

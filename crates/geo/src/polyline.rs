@@ -1,0 +1,235 @@
+//! GPS trajectory polylines.
+//!
+//! The ECML/PKDD-15 Porto dataset stores each trip as a *polyline*: GPS
+//! fixes sampled every 15 seconds. The paper derives trip distance and
+//! duration from these polylines; this module provides the same
+//! representation so synthetic traces can carry full trajectories and the
+//! derivation can be replicated (length = sum of fix-to-fix distances,
+//! duration = (fixes − 1) × 15 s).
+
+use crate::GeoPoint;
+
+/// The Porto dataset's GPS sampling period, in seconds.
+pub const GPS_SAMPLE_SECS: i64 = 15;
+
+/// A GPS trajectory: an ordered list of fixes.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_geo::{GeoPoint, Polyline};
+/// let a = GeoPoint::new(41.15, -8.61);
+/// let line = Polyline::new(vec![a, a.offset_km(0.0, 1.0), a.offset_km(0.0, 2.0)]);
+/// assert!((line.length_km() - 2.0).abs() < 0.01);
+/// assert_eq!(line.duration_secs(), 30); // 3 fixes → 2 intervals
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Polyline {
+    fixes: Vec<GeoPoint>,
+}
+
+impl Polyline {
+    /// Creates a polyline from GPS fixes.
+    #[must_use]
+    pub fn new(fixes: Vec<GeoPoint>) -> Self {
+        Self { fixes }
+    }
+
+    /// The fixes in order.
+    #[must_use]
+    pub fn fixes(&self) -> &[GeoPoint] {
+        &self.fixes
+    }
+
+    /// Number of fixes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fixes.len()
+    }
+
+    /// `true` when the polyline has no fixes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fixes.is_empty()
+    }
+
+    /// The first fix (trip origin), if any.
+    #[must_use]
+    pub fn start(&self) -> Option<GeoPoint> {
+        self.fixes.first().copied()
+    }
+
+    /// The last fix (trip destination), if any.
+    #[must_use]
+    pub fn end(&self) -> Option<GeoPoint> {
+        self.fixes.last().copied()
+    }
+
+    /// Total path length: the sum of consecutive fix-to-fix great-circle
+    /// distances, in kilometres (the dataset's distance derivation).
+    #[must_use]
+    pub fn length_km(&self) -> f64 {
+        self.fixes
+            .windows(2)
+            .map(|w| w[0].haversine_km(w[1]))
+            .sum()
+    }
+
+    /// Trip duration implied by the 15-second sampling:
+    /// `(fixes − 1) × 15 s` (the dataset's duration derivation).
+    #[must_use]
+    pub fn duration_secs(&self) -> i64 {
+        (self.fixes.len().saturating_sub(1) as i64) * GPS_SAMPLE_SECS
+    }
+
+    /// Straight-line origin→destination distance, in kilometres; the ratio
+    /// `length_km / crow_km` is the trip's empirical detour factor.
+    #[must_use]
+    pub fn crow_km(&self) -> f64 {
+        match (self.start(), self.end()) {
+            (Some(a), Some(b)) => a.haversine_km(b),
+            _ => 0.0,
+        }
+    }
+
+    /// Linear interpolation along the path: `frac ∈ [0, 1]` maps to the
+    /// point that fraction of the *length* along the polyline.
+    ///
+    /// Returns `None` for polylines with fewer than one fix.
+    #[must_use]
+    pub fn point_at(&self, frac: f64) -> Option<GeoPoint> {
+        if self.fixes.is_empty() {
+            return None;
+        }
+        if self.fixes.len() == 1 {
+            return Some(self.fixes[0]);
+        }
+        let frac = frac.clamp(0.0, 1.0);
+        let total = self.length_km();
+        if total == 0.0 {
+            return Some(self.fixes[0]);
+        }
+        let mut remaining = frac * total;
+        for w in self.fixes.windows(2) {
+            let seg = w[0].haversine_km(w[1]);
+            if remaining <= seg {
+                let t = if seg == 0.0 { 0.0 } else { remaining / seg };
+                return Some(GeoPoint::new(
+                    w[0].lat() + (w[1].lat() - w[0].lat()) * t,
+                    w[0].lon() + (w[1].lon() - w[0].lon()) * t,
+                ));
+            }
+            remaining -= seg;
+        }
+        self.end()
+    }
+
+    /// Synthesises a plausible trajectory from `from` to `to` with the
+    /// dataset's sampling: `n_fixes` points along a gently curved path
+    /// (quadratic bend of `bend_km` at the midpoint, emulating road
+    /// detours).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_fixes < 2`.
+    #[must_use]
+    pub fn synthesize(from: GeoPoint, to: GeoPoint, n_fixes: usize, bend_km: f64) -> Self {
+        assert!(n_fixes >= 2, "a trajectory needs at least two fixes");
+        // Perpendicular bend direction (rotate the segment by 90°).
+        let dlat = to.lat() - from.lat();
+        let dlon = to.lon() - from.lon();
+        let norm = (dlat * dlat + dlon * dlon).sqrt().max(1e-12);
+        let (perp_lat, perp_lon) = (-dlon / norm, dlat / norm);
+        // Degrees per km at this latitude (approximate, fine at city scale).
+        let deg_per_km = 1.0 / 111.0;
+
+        let fixes = (0..n_fixes)
+            .map(|i| {
+                let t = i as f64 / (n_fixes - 1) as f64;
+                // Quadratic bump peaking at the midpoint.
+                let bump = 4.0 * t * (1.0 - t) * bend_km * deg_per_km;
+                GeoPoint::new(
+                    from.lat() + dlat * t + perp_lat * bump,
+                    from.lon() + dlon * t + perp_lon * bump,
+                )
+            })
+            .collect();
+        Self { fixes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GeoPoint {
+        GeoPoint::new(41.15, -8.61)
+    }
+
+    #[test]
+    fn straight_line_length_and_duration() {
+        let line = Polyline::new(vec![
+            base(),
+            base().offset_km(0.0, 1.0),
+            base().offset_km(0.0, 2.0),
+            base().offset_km(0.0, 3.0),
+        ]);
+        assert!((line.length_km() - 3.0).abs() < 0.01);
+        assert_eq!(line.duration_secs(), 45);
+        assert!((line.crow_km() - 3.0).abs() < 0.01);
+        assert_eq!(line.len(), 4);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Polyline::default();
+        assert!(empty.is_empty());
+        assert_eq!(empty.length_km(), 0.0);
+        assert_eq!(empty.duration_secs(), 0);
+        assert!(empty.point_at(0.5).is_none());
+
+        let single = Polyline::new(vec![base()]);
+        assert_eq!(single.duration_secs(), 0);
+        assert_eq!(single.point_at(0.7), Some(base()));
+    }
+
+    #[test]
+    fn point_at_endpoints_and_midpoint() {
+        let line = Polyline::new(vec![base(), base().offset_km(0.0, 2.0)]);
+        let start = line.point_at(0.0).unwrap();
+        let end = line.point_at(1.0).unwrap();
+        assert!(start.haversine_km(base()) < 1e-6);
+        assert!(end.haversine_km(base().offset_km(0.0, 2.0)) < 1e-6);
+        let mid = line.point_at(0.5).unwrap();
+        assert!((mid.haversine_km(base()) - 1.0).abs() < 0.01);
+        // Clamping.
+        assert_eq!(line.point_at(-1.0).unwrap(), start);
+    }
+
+    #[test]
+    fn synthesized_trajectory_connects_endpoints_with_detour() {
+        let from = base();
+        let to = base().offset_km(0.0, 5.0);
+        let line = Polyline::synthesize(from, to, 21, 0.8);
+        assert_eq!(line.len(), 21);
+        assert!(line.start().unwrap().haversine_km(from) < 1e-6);
+        assert!(line.end().unwrap().haversine_km(to) < 1e-6);
+        // The bend makes the path measurably longer than the crow flies.
+        assert!(line.length_km() > line.crow_km() * 1.01);
+        assert_eq!(line.duration_secs(), 20 * GPS_SAMPLE_SECS);
+    }
+
+    #[test]
+    fn zero_bend_is_straight() {
+        let from = base();
+        let to = base().offset_km(3.0, 4.0);
+        let line = Polyline::synthesize(from, to, 10, 0.0);
+        assert!((line.length_km() - line.crow_km()).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "two fixes")]
+    fn synthesize_needs_two_fixes() {
+        let _ = Polyline::synthesize(base(), base(), 1, 0.0);
+    }
+}

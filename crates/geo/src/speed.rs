@@ -1,0 +1,187 @@
+//! Speed and cost models: distances → travel times and monetary costs.
+
+use rideshare_types::{Money, TimeDelta};
+
+use crate::GeoPoint;
+
+/// Converts straight-line distances into travel times and travel costs.
+///
+/// The paper's §V-A estimates arrival times by "the estimated distance
+/// divided by the average speed of the driver", and §VI-A estimates the cost
+/// of each trip as distance × unit gasoline price. Real road networks are
+/// longer than great circles, so a *detour factor* scales the straight-line
+/// distance into an effective driven distance first.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_geo::{GeoPoint, SpeedModel};
+/// let model = SpeedModel::new(30.0, 1.3, 0.12);
+/// let a = GeoPoint::new(41.15, -8.61);
+/// let b = a.offset_km(0.0, 10.0); // 10 km due east
+/// // 10 km * 1.3 detour = 13 km driven, at 30 km/h = 26 min.
+/// let eta = model.travel_time(a, b);
+/// assert!((eta.as_mins_f64() - 26.0).abs() < 0.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SpeedModel {
+    speed_kmh: f64,
+    detour_factor: f64,
+    cost_per_km: f64,
+}
+
+impl SpeedModel {
+    /// Creates a speed model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_kmh` is not strictly positive, if `detour_factor`
+    /// is below 1, or if `cost_per_km` is negative.
+    #[must_use]
+    pub fn new(speed_kmh: f64, detour_factor: f64, cost_per_km: f64) -> Self {
+        assert!(speed_kmh > 0.0, "speed must be positive, got {speed_kmh}");
+        assert!(
+            detour_factor >= 1.0,
+            "detour factor must be >= 1, got {detour_factor}"
+        );
+        assert!(
+            cost_per_km >= 0.0,
+            "cost per km must be non-negative, got {cost_per_km}"
+        );
+        Self {
+            speed_kmh,
+            detour_factor,
+            cost_per_km,
+        }
+    }
+
+    /// A typical urban profile: 25 km/h average speed, 1.35 road detour
+    /// factor, €0.12/km fuel cost — consistent with the Porto taxi trace's
+    /// median trip (≈ 6–8 minutes over ≈ 2–3 km).
+    #[must_use]
+    pub fn urban() -> Self {
+        Self::new(25.0, 1.35, 0.12)
+    }
+
+    /// Average driving speed in km/h.
+    #[must_use]
+    pub const fn speed_kmh(&self) -> f64 {
+        self.speed_kmh
+    }
+
+    /// Multiplier from straight-line to driven distance.
+    #[must_use]
+    pub const fn detour_factor(&self) -> f64 {
+        self.detour_factor
+    }
+
+    /// Fuel/operating cost per driven kilometre, in currency units.
+    #[must_use]
+    pub const fn cost_per_km(&self) -> f64 {
+        self.cost_per_km
+    }
+
+    /// Effective driven distance between two points, in kilometres.
+    #[must_use]
+    pub fn driven_km(&self, from: GeoPoint, to: GeoPoint) -> f64 {
+        from.equirectangular_km(to) * self.detour_factor
+    }
+
+    /// Estimated travel time between two points (the paper's `l` values).
+    #[must_use]
+    pub fn travel_time(&self, from: GeoPoint, to: GeoPoint) -> TimeDelta {
+        self.travel_time_for_km(self.driven_km(from, to))
+    }
+
+    /// Travel time for an already-known driven distance.
+    #[must_use]
+    pub fn travel_time_for_km(&self, driven_km: f64) -> TimeDelta {
+        TimeDelta::from_secs_f64(driven_km / self.speed_kmh * 3600.0)
+    }
+
+    /// Estimated travel cost between two points (the paper's `c` values).
+    #[must_use]
+    pub fn travel_cost(&self, from: GeoPoint, to: GeoPoint) -> Money {
+        self.cost_for_km(self.driven_km(from, to))
+    }
+
+    /// Travel cost for an already-known driven distance.
+    #[must_use]
+    pub fn cost_for_km(&self, driven_km: f64) -> Money {
+        Money::new(driven_km * self.cost_per_km)
+    }
+
+    /// Distance (km) coverable within `delta` — the reachability radius used
+    /// by candidate-set queries in the online simulator.
+    #[must_use]
+    pub fn reachable_km(&self, delta: TimeDelta) -> f64 {
+        if delta.is_negative() {
+            return 0.0;
+        }
+        delta.as_hours_f64() * self.speed_kmh / self.detour_factor
+    }
+}
+
+impl Default for SpeedModel {
+    fn default() -> Self {
+        Self::urban()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn travel_time_matches_speed() {
+        let m = SpeedModel::new(60.0, 1.0, 0.1);
+        let a = GeoPoint::new(41.0, -8.6);
+        let b = a.offset_km(0.0, 30.0);
+        let t = m.travel_time(a, b);
+        // 30 km at 60 km/h = 30 minutes.
+        assert!((t.as_mins_f64() - 30.0).abs() < 0.2, "{t}");
+    }
+
+    #[test]
+    fn detour_scales_time_and_cost() {
+        let base = SpeedModel::new(30.0, 1.0, 0.10);
+        let detour = SpeedModel::new(30.0, 1.5, 0.10);
+        let a = GeoPoint::new(41.0, -8.6);
+        let b = a.offset_km(5.0, 0.0);
+        let ratio =
+            detour.travel_time(a, b).as_secs() as f64 / base.travel_time(a, b).as_secs() as f64;
+        assert!((ratio - 1.5).abs() < 0.01);
+        assert!(detour
+            .travel_cost(a, b)
+            .approx_eq(base.travel_cost(a, b) * 1.5));
+    }
+
+    #[test]
+    fn zero_distance_is_free_and_instant() {
+        let m = SpeedModel::urban();
+        let a = GeoPoint::new(41.1, -8.6);
+        assert_eq!(m.travel_time(a, a), TimeDelta::ZERO);
+        assert!(m.travel_cost(a, a).approx_eq(Money::ZERO));
+    }
+
+    #[test]
+    fn reachable_km_inverse_of_travel_time() {
+        let m = SpeedModel::urban();
+        let km = m.reachable_km(TimeDelta::from_mins(30));
+        let t = m.travel_time_for_km(km * m.detour_factor());
+        assert!((t.as_mins_f64() - 30.0).abs() < 0.1);
+        assert_eq!(m.reachable_km(TimeDelta::from_secs(-5)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn rejects_zero_speed() {
+        let _ = SpeedModel::new(0.0, 1.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "detour factor")]
+    fn rejects_sub_unit_detour() {
+        let _ = SpeedModel::new(10.0, 0.9, 0.1);
+    }
+}

@@ -1,0 +1,228 @@
+//! The weighted DAG container.
+
+use crate::topo::topological_order_of;
+
+/// A directed graph with `f64` node and edge weights, intended to stay
+/// acyclic (task maps are DAGs by construction: arcs always point forward in
+/// time).
+///
+/// Nodes are dense indices `0..node_count`. Each node can be *disabled*,
+/// which removes it (and all incident edges) from every query without
+/// mutating the adjacency structure — this is how the greedy algorithm
+/// "removes the source and destination nodes … and all the task nodes"
+/// (paper Alg. 1 step (b)) in `O(path length)` per iteration.
+///
+/// Acyclicity is *checked* by [`crate::is_acyclic`] and by the path DP
+/// (which fails on cyclic graphs) rather than enforced per insertion, so
+/// bulk construction stays `O(1)` amortised per edge.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_graph::Dag;
+/// let mut dag = Dag::new(3);
+/// dag.add_edge(0, 1, 1.5);
+/// dag.add_edge(1, 2, 2.5);
+/// assert_eq!(dag.edge_count(), 2);
+/// dag.disable_node(1);
+/// assert!(dag.max_profit_path(0, 2).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dag {
+    node_weights: Vec<f64>,
+    /// Outgoing adjacency: `out[u] = [(v, w), ...]`.
+    out: Vec<Vec<(u32, f64)>>,
+    /// Incoming adjacency mirror, kept for the DP's predecessor scan.
+    incoming: Vec<Vec<(u32, f64)>>,
+    enabled: Vec<bool>,
+    edge_count: usize,
+}
+
+impl Dag {
+    /// Creates a DAG with `nodes` isolated nodes of weight zero.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            node_weights: vec![0.0; nodes],
+            out: vec![Vec::new(); nodes],
+            incoming: vec![Vec::new(); nodes],
+            enabled: vec![true; nodes],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes (enabled or not).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_weights.len()
+    }
+
+    /// Number of edges ever added (edges to/from disabled nodes included).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Appends a new node with the given weight, returning its index.
+    pub fn add_node(&mut self, weight: f64) -> usize {
+        self.node_weights.push(weight);
+        self.out.push(Vec::new());
+        self.incoming.push(Vec::new());
+        self.enabled.push(true);
+        self.node_weights.len() - 1
+    }
+
+    /// Adds a directed edge `from → to` with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or if `from == to`
+    /// (self-loops would make the graph cyclic).
+    pub fn add_edge(&mut self, from: usize, to: usize, weight: f64) {
+        assert!(from < self.node_count(), "edge source {from} out of range");
+        assert!(to < self.node_count(), "edge target {to} out of range");
+        assert_ne!(from, to, "self-loop at node {from}");
+        self.out[from].push((to as u32, weight));
+        self.incoming[to].push((from as u32, weight));
+        self.edge_count += 1;
+    }
+
+    /// Sets the weight of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_node_weight(&mut self, node: usize, weight: f64) {
+        self.node_weights[node] = weight;
+    }
+
+    /// Returns the weight of a node.
+    #[must_use]
+    pub fn node_weight(&self, node: usize) -> f64 {
+        self.node_weights[node]
+    }
+
+    /// Disables a node, hiding it and its incident edges from all queries.
+    pub fn disable_node(&mut self, node: usize) {
+        self.enabled[node] = false;
+    }
+
+    /// Re-enables a previously disabled node.
+    pub fn enable_node(&mut self, node: usize) {
+        self.enabled[node] = true;
+    }
+
+    /// Returns `true` if the node is currently enabled.
+    #[must_use]
+    pub fn is_enabled(&self, node: usize) -> bool {
+        self.enabled[node]
+    }
+
+    /// Number of currently enabled nodes.
+    #[must_use]
+    pub fn enabled_count(&self) -> usize {
+        self.enabled.iter().filter(|&&e| e).count()
+    }
+
+    /// Iterates over enabled out-neighbours of `node` with edge weights.
+    pub fn out_edges(&self, node: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.out[node]
+            .iter()
+            .filter(move |(v, _)| self.enabled[*v as usize])
+            .map(|&(v, w)| (v as usize, w))
+    }
+
+    /// Iterates over enabled in-neighbours of `node` with edge weights.
+    pub fn in_edges(&self, node: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.incoming[node]
+            .iter()
+            .filter(move |(u, _)| self.enabled[*u as usize])
+            .map(|&(u, w)| (u as usize, w))
+    }
+
+    /// Out-degree counting only enabled endpoints.
+    #[must_use]
+    pub fn out_degree(&self, node: usize) -> usize {
+        self.out_edges(node).count()
+    }
+
+    /// In-degree counting only enabled endpoints.
+    #[must_use]
+    pub fn in_degree(&self, node: usize) -> usize {
+        self.in_edges(node).count()
+    }
+
+    /// A topological order of the enabled subgraph, or `None` if it contains
+    /// a cycle.
+    #[must_use]
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        topological_order_of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_degrees() {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, 2.0);
+        g.add_edge(1, 3, 3.0);
+        g.add_edge(2, 3, 4.0);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn add_node_appends() {
+        let mut g = Dag::new(1);
+        let n = g.add_node(7.5);
+        assert_eq!(n, 1);
+        assert_eq!(g.node_weight(1), 7.5);
+        g.add_edge(0, 1, 0.0);
+        assert_eq!(g.out_degree(0), 1);
+    }
+
+    #[test]
+    fn disabling_hides_edges() {
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        assert_eq!(g.out_degree(0), 1);
+        g.disable_node(1);
+        assert_eq!(g.out_degree(0), 0);
+        assert_eq!(g.in_degree(2), 0);
+        assert_eq!(g.enabled_count(), 2);
+        g.enable_node(1);
+        assert_eq!(g.out_degree(0), 1);
+        assert!(g.is_enabled(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut g = Dag::new(2);
+        g.add_edge(1, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edge() {
+        let mut g = Dag::new(2);
+        g.add_edge(0, 5, 0.0);
+    }
+
+    #[test]
+    fn node_weight_set_get() {
+        let mut g = Dag::new(2);
+        g.set_node_weight(0, -3.25);
+        assert_eq!(g.node_weight(0), -3.25);
+        assert_eq!(g.node_weight(1), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The abstract MDP problem: maximum-value **node-disjoint paths** between
+//! terminal pairs in a DAG.
+//!
+//! This is the graph-theoretic form the paper reduces its market to (§IV-A,
+//! Eq. 9–10): each source–destination pair is a driver, interior nodes are
+//! tasks, and the goal is a set of terminal-to-terminal paths, no two
+//! sharing a node, maximising total path weight. [`greedy_disjoint_paths`]
+//! is Algorithm 1 at this abstraction level, with the same `1/(D+1)`
+//! guarantee (Theorem 1), where `D` bounds interior path length.
+//!
+//! The market solver in `rideshare-core` uses a specialised implementation
+//! (factored per-driver views); this generic one serves standalone graph
+//! workloads and differential tests.
+
+use crate::{Dag, PathResult};
+
+/// One selected terminal pair and its path.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DisjointPath {
+    /// Index of the `(source, sink)` pair in the input slice.
+    pub pair: usize,
+    /// The chosen path.
+    pub path: PathResult,
+}
+
+/// Greedily selects node-disjoint paths for the given `(source, sink)`
+/// pairs, maximising total profit.
+///
+/// Every iteration picks the globally best remaining pair/path with
+/// strictly positive profit, then removes the path's nodes (and the chosen
+/// pair) from contention — exactly the paper's Algorithm 1. Terminal nodes
+/// must be distinct across pairs; interior nodes may be shared candidates.
+///
+/// The input DAG's enabled/disabled state is restored before returning.
+///
+/// # Panics
+///
+/// Panics if any terminal index is out of range or if two pairs share a
+/// terminal node.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_graph::{greedy_disjoint_paths, Dag};
+///
+/// // Two pairs compete for interior node 2.
+/// // 0 → 2 → 1 (pair 0) and 4 → 2 → 5 (pair 1); node 2 worth 10.
+/// let mut dag = Dag::new(6);
+/// dag.set_node_weight(2, 10.0);
+/// dag.add_edge(0, 2, 0.0);
+/// dag.add_edge(2, 1, 0.0);
+/// dag.add_edge(4, 2, -1.0); // pair 1 pays a toll
+/// dag.add_edge(2, 5, 0.0);
+/// let picked = greedy_disjoint_paths(&mut dag, &[(0, 1), (4, 5)]);
+/// assert_eq!(picked.len(), 1); // node 2 can serve only one pair
+/// assert_eq!(picked[0].pair, 0); // the toll-free pair wins
+/// ```
+#[must_use]
+pub fn greedy_disjoint_paths(dag: &mut Dag, pairs: &[(usize, usize)]) -> Vec<DisjointPath> {
+    let n = dag.node_count();
+    {
+        let mut seen = std::collections::HashSet::new();
+        for &(s, t) in pairs {
+            assert!(s < n && t < n, "terminal out of range");
+            assert!(seen.insert(s), "terminal {s} reused");
+            assert!(seen.insert(t), "terminal {t} reused");
+        }
+    }
+    let initial_enabled: Vec<bool> = (0..n).map(|v| dag.is_enabled(v)).collect();
+
+    let mut taken = vec![false; pairs.len()];
+    let mut out = Vec::new();
+    loop {
+        let mut best: Option<(usize, PathResult)> = None;
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            if taken[i] {
+                continue;
+            }
+            let Some(p) = dag.max_profit_path(s, t) else {
+                continue;
+            };
+            if p.profit <= 1e-12 {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bi, bp)) => {
+                    p.profit > bp.profit + 1e-12
+                        || ((p.profit - bp.profit).abs() <= 1e-12 && i < *bi)
+                }
+            };
+            if better {
+                best = Some((i, p));
+            }
+        }
+        let Some((i, p)) = best else {
+            break;
+        };
+        for &v in &p.nodes {
+            dag.disable_node(v);
+        }
+        taken[i] = true;
+        out.push(DisjointPath { pair: i, path: p });
+    }
+
+    // Restore the caller's enabled set.
+    for (v, &was) in initial_enabled.iter().enumerate() {
+        if was {
+            dag.enable_node(v);
+        } else {
+            dag.disable_node(v);
+        }
+    }
+    out
+}
+
+/// Total profit of a set of selected paths.
+#[must_use]
+pub fn total_profit(paths: &[DisjointPath]) -> f64 {
+    paths.iter().map(|p| p.path.profit).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Chain of `k` interior nodes between terminals `0` and `1`, each
+    /// interior node worth 1.
+    fn chain_dag(k: usize) -> (Dag, usize, usize) {
+        let mut g = Dag::new(k + 2);
+        let (s, t) = (0, 1);
+        for i in 0..k {
+            g.set_node_weight(2 + i, 1.0);
+        }
+        if k == 0 {
+            g.add_edge(s, t, 0.1);
+        } else {
+            g.add_edge(s, 2, 0.0);
+            for i in 0..k - 1 {
+                g.add_edge(2 + i, 3 + i, 0.0);
+            }
+            g.add_edge(k + 1, t, 0.0);
+        }
+        (g, s, t)
+    }
+
+    #[test]
+    fn single_pair_takes_whole_chain() {
+        let (mut g, s, t) = chain_dag(4);
+        let picked = greedy_disjoint_paths(&mut g, &[(s, t)]);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].path.interior_len(), 4);
+        assert!((total_profit(&picked) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_resolved_by_profit() {
+        // Pairs (0,1) and (2,3) both want node 4 (worth 5); pair 1 reaches
+        // it over a costlier edge.
+        let mut g = Dag::new(5);
+        g.set_node_weight(4, 5.0);
+        g.add_edge(0, 4, 0.0);
+        g.add_edge(4, 1, 0.0);
+        g.add_edge(2, 4, -2.0);
+        g.add_edge(4, 3, 0.0);
+        let picked = greedy_disjoint_paths(&mut g, &[(0, 1), (2, 3)]);
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].pair, 0);
+        assert!((picked[0].path.profit - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_interior_both_selected() {
+        let mut g = Dag::new(6);
+        g.set_node_weight(4, 3.0);
+        g.set_node_weight(5, 2.0);
+        g.add_edge(0, 4, 0.0);
+        g.add_edge(4, 1, 0.0);
+        g.add_edge(2, 5, 0.0);
+        g.add_edge(5, 3, 0.0);
+        let picked = greedy_disjoint_paths(&mut g, &[(0, 1), (2, 3)]);
+        assert_eq!(picked.len(), 2);
+        assert!((total_profit(&picked) - 5.0).abs() < 1e-12);
+        // Higher-profit pair selected first.
+        assert_eq!(picked[0].pair, 0);
+    }
+
+    #[test]
+    fn zero_profit_paths_skipped() {
+        let mut g = Dag::new(2);
+        g.add_edge(0, 1, 0.0);
+        let picked = greedy_disjoint_paths(&mut g, &[(0, 1)]);
+        assert!(picked.is_empty());
+    }
+
+    #[test]
+    fn enabled_state_restored() {
+        let (mut g, s, t) = chain_dag(3);
+        g.disable_node(3); // pre-disabled interior node
+        let _ = greedy_disjoint_paths(&mut g, &[(s, t)]);
+        assert!(!g.is_enabled(3), "caller's disabled node must stay disabled");
+        assert!(g.is_enabled(2), "nodes eaten by paths must be re-enabled");
+    }
+
+    #[test]
+    fn theorem_one_bound_on_fig2_shape() {
+        // Graph-level replica of Fig. 2: one long chain for pair 0 of
+        // profit 1, plus D single-task pairs of profit 1−ε each sharing the
+        // chain's nodes. Greedy earns 1; optimum earns (D+1)(1−ε).
+        let d = 4usize;
+        let eps = 0.05;
+        // Nodes: terminals for D+1 pairs (2·(D+1)), D chain nodes, 1 decoy.
+        let mut g = Dag::new(2 * (d + 1) + d + 1);
+        let chain0 = 2 * (d + 1);
+        let decoy = chain0 + d;
+        let pairs: Vec<(usize, usize)> = (0..=d).map(|i| (2 * i, 2 * i + 1)).collect();
+        // Pair 0's chain: per-node value 1/D through all chain nodes.
+        for i in 0..d {
+            g.set_node_weight(chain0 + i, 1.0 / d as f64);
+        }
+        g.set_node_weight(decoy, 1.0 - eps);
+        g.add_edge(pairs[0].0, chain0, 0.0);
+        for i in 0..d - 1 {
+            g.add_edge(chain0 + i, chain0 + i + 1, 0.0);
+        }
+        g.add_edge(chain0 + d - 1, pairs[0].1, 0.0);
+        // Pair 0 can also reach the decoy instead.
+        g.add_edge(pairs[0].0, decoy, 0.0);
+        g.add_edge(decoy, pairs[0].1, 0.0);
+        // Pair i (1-based) reaches only chain node i−1, netting 1−ε.
+        for (i, &(ps, pt)) in pairs.iter().enumerate().skip(1) {
+            g.add_edge(ps, chain0 + i - 1, 0.0 - (1.0 / d as f64) + (1.0 - eps));
+            g.add_edge(chain0 + i - 1, pt, 0.0);
+        }
+        let picked = greedy_disjoint_paths(&mut g, &pairs);
+        // Greedy grabs pair 0's full chain (profit 1) and strands the rest
+        // except the decoy is pair-0-only, so nothing else fits.
+        assert_eq!(picked.len(), 1);
+        assert!((total_profit(&picked) - 1.0).abs() < 1e-9);
+        let opt = (d as f64 + 1.0) * (1.0 - eps);
+        let ratio = total_profit(&picked) / opt;
+        assert!(ratio >= 1.0 / (d as f64 + 1.0) - 1e-9, "Theorem 1 violated");
+        assert!(ratio <= 1.0 / (d as f64 + 1.0) + 0.02, "family is tight");
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal 0 reused")]
+    fn shared_terminals_rejected() {
+        let mut g = Dag::new(3);
+        let _ = greedy_disjoint_paths(&mut g, &[(0, 1), (0, 2)]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Maximum-profit path in a weighted DAG by dynamic programming.
+
+use crate::topo::topological_order_of;
+use crate::Dag;
+
+/// A source→sink path and its total profit.
+///
+/// The profit of a path is the sum of the weights of its nodes plus the sum
+/// of the weights of its edges — matching the paper's path profit `r_π`
+/// (task payoffs minus excess travel costs) when task maps are encoded with
+/// payoffs on nodes and (negative) travel costs on edges.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PathResult {
+    /// Node indices from source to sink inclusive.
+    pub nodes: Vec<usize>,
+    /// Total path weight (node weights + edge weights).
+    pub profit: f64,
+}
+
+impl PathResult {
+    /// Number of *interior* nodes (excludes source and sink) — the paper's
+    /// path length for the diameter bound `D`.
+    #[must_use]
+    pub fn interior_len(&self) -> usize {
+        self.nodes.len().saturating_sub(2)
+    }
+}
+
+impl Dag {
+    /// Finds a maximum-profit path from `source` to `sink` using the stored
+    /// node and edge weights.
+    ///
+    /// Returns `None` when `sink` is unreachable from `source` in the
+    /// enabled subgraph, when either endpoint is disabled or out of range,
+    /// or when the enabled subgraph is cyclic.
+    ///
+    /// Runs in `O(V + E)` after the `O(V + E)` topological sort.
+    #[must_use]
+    pub fn max_profit_path(&self, source: usize, sink: usize) -> Option<PathResult> {
+        self.max_profit_path_with(source, sink, |v| self.node_weight(v), |_, _, w| w)
+    }
+
+    /// Finds a maximum-profit path with *per-call* weight overrides.
+    ///
+    /// `node_weight(v)` replaces the stored node weight and
+    /// `edge_weight(u, v, stored)` replaces the stored edge weight. This is
+    /// the pricing oracle of the column-generation upper bound: dual values
+    /// are subtracted from node weights without mutating the graph, so
+    /// pricing rounds can run concurrently over one immutable DAG.
+    #[must_use]
+    pub fn max_profit_path_with<FN, FE>(
+        &self,
+        source: usize,
+        sink: usize,
+        node_weight: FN,
+        edge_weight: FE,
+    ) -> Option<PathResult>
+    where
+        FN: Fn(usize) -> f64,
+        FE: Fn(usize, usize, f64) -> f64,
+    {
+        let n = self.node_count();
+        if source >= n || sink >= n || !self.is_enabled(source) || !self.is_enabled(sink) {
+            return None;
+        }
+        let order = topological_order_of(self)?;
+
+        const NEG_INF: f64 = f64::NEG_INFINITY;
+        let mut dp = vec![NEG_INF; n];
+        let mut pred: Vec<usize> = vec![usize::MAX; n];
+        dp[source] = node_weight(source);
+
+        for &u in &order {
+            if dp[u] == NEG_INF {
+                continue;
+            }
+            if u == sink {
+                // Edges out of the sink can never improve a source→sink path.
+                continue;
+            }
+            for (v, stored) in self.out_edges(u) {
+                let cand = dp[u] + edge_weight(u, v, stored) + node_weight(v);
+                if cand > dp[v] {
+                    dp[v] = cand;
+                    pred[v] = u;
+                }
+            }
+        }
+
+        if dp[sink] == NEG_INF {
+            return None;
+        }
+        let mut nodes = vec![sink];
+        let mut cur = sink;
+        while cur != source {
+            cur = pred[cur];
+            debug_assert_ne!(cur, usize::MAX, "broken predecessor chain");
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(PathResult {
+            nodes,
+            profit: dp[sink],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 → 1 → 3, 0 → 2 → 3, node weights make 0→2→3 better.
+    fn diamond() -> Dag {
+        let mut g = Dag::new(4);
+        g.set_node_weight(1, 5.0);
+        g.set_node_weight(2, 9.0);
+        g.add_edge(0, 1, 0.0);
+        g.add_edge(0, 2, 0.0);
+        g.add_edge(1, 3, 0.0);
+        g.add_edge(2, 3, 0.0);
+        g
+    }
+
+    #[test]
+    fn picks_heavier_branch() {
+        let p = diamond().max_profit_path(0, 3).unwrap();
+        assert_eq!(p.nodes, vec![0, 2, 3]);
+        assert_eq!(p.profit, 9.0);
+        assert_eq!(p.interior_len(), 1);
+    }
+
+    #[test]
+    fn edge_weights_count() {
+        let mut g = diamond();
+        // Make the lighter branch win through a big edge bonus.
+        g.add_edge(0, 1, 100.0);
+        let p = g.max_profit_path(0, 3).unwrap();
+        assert_eq!(p.nodes, vec![0, 1, 3]);
+        assert_eq!(p.profit, 105.0);
+    }
+
+    #[test]
+    fn direct_edge_vs_longer_path() {
+        let mut g = Dag::new(3);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(0, 1, 0.0);
+        g.add_edge(1, 2, 0.0);
+        g.set_node_weight(1, 0.5);
+        let p = g.max_profit_path(0, 2).unwrap();
+        // Direct edge worth 1.0 beats interior node worth 0.5.
+        assert_eq!(p.nodes, vec![0, 2]);
+        assert_eq!(p.profit, 1.0);
+    }
+
+    #[test]
+    fn negative_weights_handled() {
+        let mut g = Dag::new(4);
+        g.add_edge(0, 1, -5.0);
+        g.add_edge(1, 3, -5.0);
+        g.add_edge(0, 2, -1.0);
+        g.add_edge(2, 3, -1.0);
+        g.set_node_weight(1, 100.0);
+        let p = g.max_profit_path(0, 3).unwrap();
+        assert_eq!(p.nodes, vec![0, 1, 3]);
+        assert_eq!(p.profit, 90.0);
+    }
+
+    #[test]
+    fn unreachable_sink() {
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1, 0.0);
+        assert!(g.max_profit_path(0, 2).is_none());
+        assert!(g.max_profit_path(5, 1).is_none());
+    }
+
+    #[test]
+    fn disabled_endpoint_or_interior() {
+        let mut g = diamond();
+        g.disable_node(2);
+        let p = g.max_profit_path(0, 3).unwrap();
+        assert_eq!(p.nodes, vec![0, 1, 3]);
+        g.disable_node(1);
+        assert!(g.max_profit_path(0, 3).is_none());
+        g.enable_node(1);
+        g.disable_node(0);
+        assert!(g.max_profit_path(0, 3).is_none());
+    }
+
+    #[test]
+    fn source_equals_sink() {
+        let mut g = Dag::new(2);
+        g.set_node_weight(0, 3.0);
+        g.add_edge(0, 1, 0.0);
+        let p = g.max_profit_path(0, 0).unwrap();
+        assert_eq!(p.nodes, vec![0]);
+        assert_eq!(p.profit, 3.0);
+        assert_eq!(p.interior_len(), 0);
+    }
+
+    #[test]
+    fn weight_overrides() {
+        let g = diamond();
+        // Override: subtract a "dual" of 6 from node 2; branch 1 now wins.
+        let p = g
+            .max_profit_path_with(
+                0,
+                3,
+                |v| g.node_weight(v) - if v == 2 { 6.0 } else { 0.0 },
+                |_, _, w| w,
+            )
+            .unwrap();
+        assert_eq!(p.nodes, vec![0, 1, 3]);
+        assert_eq!(p.profit, 5.0);
+    }
+
+    #[test]
+    fn cyclic_graph_returns_none() {
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 1, 1.0);
+        assert!(g.max_profit_path(0, 2).is_none());
+    }
+
+    #[test]
+    fn long_chain_accumulates() {
+        let mut g = Dag::new(100);
+        for i in 0..99 {
+            g.add_edge(i, i + 1, 1.0);
+            g.set_node_weight(i, 0.5);
+        }
+        g.set_node_weight(99, 0.5);
+        let p = g.max_profit_path(0, 99).unwrap();
+        assert_eq!(p.nodes.len(), 100);
+        assert!((p.profit - (99.0 + 50.0)).abs() < 1e-9);
+    }
+}

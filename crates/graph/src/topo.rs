@@ -1,0 +1,126 @@
+//! Topological ordering (Kahn's algorithm) over the enabled subgraph.
+
+use crate::Dag;
+
+/// Returns a topological order of the enabled nodes of `dag`, or `None`
+/// if the enabled subgraph contains a cycle.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_graph::{topological_order, Dag};
+/// let mut dag = Dag::new(3);
+/// dag.add_edge(2, 1, 0.0);
+/// dag.add_edge(1, 0, 0.0);
+/// assert_eq!(topological_order(&dag), Some(vec![2, 1, 0]));
+/// ```
+#[must_use]
+pub fn topological_order(dag: &Dag) -> Option<Vec<usize>> {
+    topological_order_of(dag)
+}
+
+/// Returns `true` if the enabled subgraph of `dag` is acyclic.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_graph::{is_acyclic, Dag};
+/// let mut dag = Dag::new(2);
+/// dag.add_edge(0, 1, 0.0);
+/// assert!(is_acyclic(&dag));
+/// dag.add_edge(1, 0, 0.0);
+/// assert!(!is_acyclic(&dag));
+/// ```
+#[must_use]
+pub fn is_acyclic(dag: &Dag) -> bool {
+    topological_order_of(dag).is_some()
+}
+
+pub(crate) fn topological_order_of(dag: &Dag) -> Option<Vec<usize>> {
+    let n = dag.node_count();
+    let mut in_deg = vec![0usize; n];
+    let mut enabled_nodes = 0usize;
+    for (v, deg) in in_deg.iter_mut().enumerate() {
+        if !dag.is_enabled(v) {
+            continue;
+        }
+        enabled_nodes += 1;
+        *deg = dag.in_degree(v);
+    }
+    // Deterministic order: lower-indexed roots first.
+    let mut queue: std::collections::VecDeque<usize> = (0..n)
+        .filter(|&v| dag.is_enabled(v) && in_deg[v] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(enabled_nodes);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for (v, _) in dag.out_edges(u) {
+            in_deg[v] -= 1;
+            if in_deg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if order.len() == enabled_nodes {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_edges() {
+        let mut g = Dag::new(5);
+        g.add_edge(0, 2, 0.0);
+        g.add_edge(1, 2, 0.0);
+        g.add_edge(2, 3, 0.0);
+        g.add_edge(2, 4, 0.0);
+        let order = topological_order(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[2]);
+        assert!(pos[1] < pos[2]);
+        assert!(pos[2] < pos[3]);
+        assert!(pos[2] < pos[4]);
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1, 0.0);
+        g.add_edge(1, 2, 0.0);
+        g.add_edge(2, 0, 0.0);
+        assert!(topological_order(&g).is_none());
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn disabled_node_can_break_cycle() {
+        let mut g = Dag::new(3);
+        g.add_edge(0, 1, 0.0);
+        g.add_edge(1, 2, 0.0);
+        g.add_edge(2, 0, 0.0);
+        g.disable_node(2);
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order, vec![0, 1]);
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = Dag::new(0);
+        assert_eq!(topological_order(&g), Some(vec![]));
+        let g = Dag::new(3);
+        assert_eq!(topological_order(&g).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Plain-text tables and series for experiment output.
+
+/// A named data series: `(x, y)` points, e.g. performance ratio over the
+/// number of drivers.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Series {
+    /// Curve label (e.g. `"Greedy"`).
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Returns `true` if `y` never decreases along the series.
+    #[must_use]
+    pub fn is_non_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12)
+    }
+
+    /// Returns `true` if `y` never increases along the series.
+    #[must_use]
+    pub fn is_non_increasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[0].1 + 1e-12 >= w[1].1)
+    }
+}
+
+/// Renders an aligned plain-text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_metrics::render_table;
+/// let out = render_table(
+///     &["drivers", "ratio"],
+///     &[vec!["20".into(), "0.71".into()], vec!["300".into(), "0.89".into()]],
+/// );
+/// assert!(out.contains("drivers"));
+/// assert!(out.lines().count() == 4); // header + rule + 2 rows
+/// ```
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, r) in rows.iter().enumerate() {
+        assert_eq!(
+            r.len(),
+            headers.len(),
+            "row {i} has {} cells for {} headers",
+            r.len(),
+            headers.len()
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one or more series as a table with a shared x column — the
+/// printable form of a paper figure.
+///
+/// All series must be sampled at the same x values.
+///
+/// # Panics
+///
+/// Panics if the series have differing x grids.
+#[must_use]
+pub fn render_series(x_label: &str, series: &[Series]) -> String {
+    if series.is_empty() {
+        return String::new();
+    }
+    let xs: Vec<f64> = series[0].points.iter().map(|p| p.0).collect();
+    for s in series {
+        let sx: Vec<f64> = s.points.iter().map(|p| p.0).collect();
+        assert_eq!(sx, xs, "series '{}' has a different x grid", s.label);
+    }
+    let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+    let mut headers = vec![x_label];
+    headers.extend(labels);
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let mut row = vec![format_num(x)];
+            row.extend(series.iter().map(|s| format_num(s.points[i].1)));
+            row
+        })
+        .collect();
+    render_table(&headers, &rows)
+}
+
+fn format_num(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders a series as a horizontal ASCII bar chart — a terminal-friendly
+/// stand-in for the paper's figures.
+///
+/// Bars are scaled to the maximum `y`; non-positive values render empty.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_metrics::{render_bars, Series};
+/// let mut s = Series::new("revenue");
+/// s.push(20.0, 100.0);
+/// s.push(40.0, 300.0);
+/// let chart = render_bars(&s, 20);
+/// assert!(chart.lines().count() == 3); // title + 2 bars
+/// assert!(chart.contains("█"));
+/// ```
+#[must_use]
+pub fn render_bars(series: &Series, width: usize) -> String {
+    let max = series
+        .points
+        .iter()
+        .map(|p| p.1)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = format!("{}\n", series.label);
+    let x_width = series
+        .points
+        .iter()
+        .map(|p| format_num(p.0).len())
+        .max()
+        .unwrap_or(1);
+    for &(x, y) in &series.points {
+        let filled = ((y.max(0.0) / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:>x_width$} | {}{} {}\n",
+            format_num(x),
+            "█".repeat(filled),
+            " ".repeat(width.saturating_sub(filled)),
+            format_num(y),
+        ));
+    }
+    // Trim the trailing newline for symmetric composition.
+    out.pop();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_monotonicity_helpers() {
+        let mut up = Series::new("up");
+        up.push(1.0, 1.0);
+        up.push(2.0, 2.0);
+        assert!(up.is_non_decreasing());
+        assert!(!up.is_non_increasing());
+        let mut down = Series::new("down");
+        down.push(1.0, 2.0);
+        down.push(2.0, 1.0);
+        assert!(down.is_non_increasing());
+        assert!(!down.is_non_decreasing());
+    }
+
+    #[test]
+    fn table_alignment() {
+        let out = render_table(
+            &["n", "value"],
+            &[
+                vec!["5".into(), "1.5".into()],
+                vec!["500".into(), "12.25".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row 0 has")]
+    fn mismatched_row_rejected() {
+        let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let mut a = Series::new("Greedy");
+        a.push(20.0, 0.7111);
+        a.push(40.0, 0.75);
+        let mut b = Series::new("Nearest");
+        b.push(20.0, 0.55);
+        b.push(40.0, 0.6);
+        let out = render_series("drivers", &[a, b]);
+        assert!(out.contains("Greedy"));
+        assert!(out.contains("0.7111"));
+        assert!(out.contains("20"));
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different x grid")]
+    fn series_grid_mismatch_rejected() {
+        let mut a = Series::new("a");
+        a.push(1.0, 1.0);
+        let mut b = Series::new("b");
+        b.push(2.0, 1.0);
+        let _ = render_series("x", &[a, b]);
+    }
+
+    #[test]
+    fn integer_formatting() {
+        assert_eq!(format_num(20.0), "20");
+        assert_eq!(format_num(0.5), "0.5000");
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let mut s = Series::new("t");
+        s.push(1.0, 50.0);
+        s.push(2.0, 100.0);
+        s.push(3.0, 0.0);
+        let chart = render_bars(&s, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let bars: Vec<usize> = lines[1..]
+            .iter()
+            .map(|l| l.matches('█').count())
+            .collect();
+        assert_eq!(bars, vec![5, 10, 0]);
+    }
+
+    #[test]
+    fn bars_handle_negative_and_empty() {
+        let mut s = Series::new("neg");
+        s.push(1.0, -5.0);
+        let chart = render_bars(&s, 8);
+        assert!(!chart.contains('█'));
+        let empty = Series::new("none");
+        assert_eq!(render_bars(&empty, 8), "none");
+    }
+}

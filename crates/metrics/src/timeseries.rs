@@ -1,0 +1,177 @@
+//! Hour-of-day breakdowns of market activity.
+//!
+//! The aggregate metrics of Figs. 6–9 hide *when* the market is tight; the
+//! surge discussion of §VI-C is fundamentally about peak hours. This module
+//! buckets demand, service, and revenue by hour of day so experiments can
+//! show where rejections concentrate.
+
+use rideshare_core::Market;
+use rideshare_online::SimulationResult;
+
+/// Per-hour market activity.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct HourBucket {
+    /// Tasks published in this hour.
+    pub published: usize,
+    /// Of those, tasks that were served.
+    pub served: usize,
+    /// Revenue of the served tasks.
+    pub revenue: f64,
+}
+
+impl HourBucket {
+    /// Served fraction of this hour's demand (0 when no demand).
+    #[must_use]
+    pub fn service_rate(&self) -> f64 {
+        if self.published == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.published as f64
+        }
+    }
+}
+
+/// A 24-slot hour-of-day breakdown.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HourlyBreakdown {
+    buckets: [HourBucket; 24],
+}
+
+impl HourlyBreakdown {
+    /// Buckets a simulation result by the hour of each task's publish time.
+    ///
+    /// Tasks published outside `[0h, 24h)` (possible for orders placed just
+    /// before midnight with early-morning pickups) are clamped into the
+    /// nearest bucket.
+    #[must_use]
+    pub fn of(market: &Market, result: &SimulationResult) -> Self {
+        let mut buckets = [HourBucket::default(); 24];
+        for (i, task) in market.tasks().iter().enumerate() {
+            let hour = (task.publish_time.as_secs().div_euclid(3600)).clamp(0, 23) as usize;
+            buckets[hour].published += 1;
+            if result.dispatch.get(i).copied().flatten().is_some() {
+                buckets[hour].served += 1;
+                buckets[hour].revenue += task.price.as_f64();
+            }
+        }
+        Self { buckets }
+    }
+
+    /// The bucket for a given hour (`0..24`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    #[must_use]
+    pub fn hour(&self, hour: usize) -> HourBucket {
+        self.buckets[hour]
+    }
+
+    /// All 24 buckets in order.
+    #[must_use]
+    pub fn buckets(&self) -> &[HourBucket; 24] {
+        &self.buckets
+    }
+
+    /// The hour with the most published demand.
+    #[must_use]
+    pub fn peak_demand_hour(&self) -> usize {
+        self.buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.published)
+            .map(|(h, _)| h)
+            .unwrap_or(0)
+    }
+
+    /// The hour with the lowest service rate among hours with demand, if
+    /// any hour has demand.
+    #[must_use]
+    pub fn tightest_hour(&self) -> Option<usize> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.published > 0)
+            .min_by(|(_, a), (_, b)| {
+                a.service_rate()
+                    .partial_cmp(&b.service_rate())
+                    .expect("finite rates")
+            })
+            .map(|(h, _)| h)
+    }
+
+    /// Totals across all hours: `(published, served, revenue)`.
+    #[must_use]
+    pub fn totals(&self) -> (usize, usize, f64) {
+        self.buckets.iter().fold((0, 0, 0.0), |(p, s, r), b| {
+            (p + b.published, s + b.served, r + b.revenue)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rideshare_core::MarketBuildOptions;
+    use rideshare_online::{MaxMargin, SimulationOptions, Simulator};
+    use rideshare_trace::{DriverModel, TraceConfig};
+
+    fn run(tasks: usize, drivers: usize) -> (Market, SimulationResult) {
+        let trace = TraceConfig::porto()
+            .with_seed(71)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, DriverModel::Hitchhiking)
+            .generate();
+        let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+        let result = Simulator::new(&market).run(&mut MaxMargin::new(), SimulationOptions::default());
+        (market, result)
+    }
+
+    #[test]
+    fn totals_match_simulation() {
+        let (market, result) = run(200, 30);
+        let hb = HourlyBreakdown::of(&market, &result);
+        let (published, served, revenue) = hb.totals();
+        assert_eq!(published, market.num_tasks());
+        assert_eq!(served, result.served);
+        let direct = result.assignment.total_revenue(&market).as_f64();
+        assert!((revenue - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_hour_is_a_demand_peak() {
+        let (market, result) = run(400, 10);
+        let hb = HourlyBreakdown::of(&market, &result);
+        let peak = hb.peak_demand_hour();
+        let max_published = hb.buckets().iter().map(|b| b.published).max().unwrap();
+        assert_eq!(hb.hour(peak).published, max_published);
+        // The default demand profile peaks in the evening rush.
+        assert!((17..=21).contains(&peak), "peak at {peak}");
+    }
+
+    #[test]
+    fn tightest_hour_has_min_rate() {
+        let (market, result) = run(300, 15);
+        let hb = HourlyBreakdown::of(&market, &result);
+        let tight = hb.tightest_hour().expect("there is demand");
+        let min_rate = hb
+            .buckets()
+            .iter()
+            .filter(|b| b.published > 0)
+            .map(HourBucket::service_rate)
+            .fold(f64::INFINITY, f64::min);
+        assert!((hb.hour(tight).service_rate() - min_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_simulation() {
+        let (market, mut result) = run(50, 5);
+        result.dispatch = vec![None; market.num_tasks()];
+        let hb = HourlyBreakdown::of(&market, &result);
+        let (published, served, revenue) = hb.totals();
+        assert_eq!(published, 50);
+        assert_eq!(served, 0);
+        assert_eq!(revenue, 0.0);
+        assert_eq!(hb.hour(0).service_rate(), 0.0);
+    }
+}

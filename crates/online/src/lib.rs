@@ -1,0 +1,54 @@
+//! Online dispatch: the real-time side of the market (§V).
+//!
+//! In the online setting "the platform and the drivers do not know the time
+//! or any other detailed information about a task in advance" and must
+//! respond instantly when an order is published. This crate provides:
+//!
+//! - [`Simulator`]: an event-driven replay of a market's order stream in
+//!   publish order, maintaining each driver's projected location and
+//!   availability (including the paper's early-finish rule — "if a driver
+//!   finishes the task m before the estimated finish time t̄⁺ₘ, she can
+//!   drive to the source of her next task"), building the candidate set of
+//!   step (a) of Algs. 3–4, and dispatching through a pluggable
+//!   [`DispatchPolicy`],
+//! - [`NearestDriver`]: Algorithm 3 — pick the candidate with the earliest
+//!   arrival at the pickup, random tie-break,
+//! - [`MaxMargin`]: Algorithm 4 — pick the candidate with the largest
+//!   marginal value `δₙ,ₘ` (Eq. 14),
+//! - [`RandomDispatch`]: a uniform-random baseline for ablations,
+//! - [`validate_online`]: feasibility checking under *actual* (simulated)
+//!   timing rather than the offline task-map deadlines,
+//! - the offline variant of maxMargin (§V-B) via
+//!   [`SimulationOptions::value_sorted`], which processes tasks in
+//!   descending-price order when the whole day is known in advance.
+//!
+//! # Examples
+//!
+//! ```
+//! use rideshare_core::{Market, MarketBuildOptions, Objective};
+//! use rideshare_online::{MaxMargin, SimulationOptions, Simulator};
+//! use rideshare_trace::{DriverModel, TraceConfig};
+//!
+//! let trace = TraceConfig::porto()
+//!     .with_seed(4)
+//!     .with_task_count(100)
+//!     .with_driver_count(12, DriverModel::Hitchhiking)
+//!     .generate();
+//! let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+//! let sim = Simulator::new(&market);
+//! let result = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+//! assert_eq!(result.served + result.rejected, market.num_tasks());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod policy;
+mod simulator;
+mod validate;
+
+pub use batch::run_batched;
+pub use policy::{Candidate, DispatchPolicy, MaxMargin, NearestDriver, RandomDispatch, WeightedScore};
+pub use simulator::{DispatchEvent, SimulationOptions, SimulationResult, Simulator};
+pub use validate::validate_online;

@@ -1,0 +1,287 @@
+//! Dispatch policies: how step (b) of Algorithms 3–4 picks a candidate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rideshare_types::Timestamp;
+
+/// One feasible candidate driver for an arriving task, as assembled by the
+/// simulator in step (a) of Algorithms 3–4.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Candidate {
+    /// Driver index.
+    pub driver: usize,
+    /// Earliest arrival time at the task's pickup point.
+    pub arrival: Timestamp,
+    /// The marginal value `δₙ,ₘ` of Eq. 14: the profit added to this
+    /// driver's route if she takes the task next.
+    pub marginal_value: f64,
+}
+
+/// A dispatch rule choosing among the candidate drivers for a task.
+///
+/// Implementors are deterministic given their own seeded RNG state, making
+/// whole simulations reproducible.
+pub trait DispatchPolicy {
+    /// Short label used in experiment output (e.g. `"Nearest"`).
+    fn name(&self) -> &'static str;
+
+    /// Picks the index *within `candidates`* of the driver to dispatch, or
+    /// `None` to reject the task. `candidates` is non-empty.
+    fn choose(&mut self, candidates: &[Candidate]) -> Option<usize>;
+}
+
+/// Algorithm 3 — *Nearest Driver*: dispatch the candidate "who will arrive
+/// fastest to `s̄ₘ`, if multiple, choose a random one".
+#[derive(Debug)]
+pub struct NearestDriver {
+    rng: StdRng,
+}
+
+impl NearestDriver {
+    /// Creates the policy with the default tie-break seed.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_seed(0)
+    }
+
+    /// Creates the policy with an explicit tie-break seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Default for NearestDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DispatchPolicy for NearestDriver {
+    fn name(&self) -> &'static str {
+        "Nearest"
+    }
+
+    fn choose(&mut self, candidates: &[Candidate]) -> Option<usize> {
+        let best = candidates.iter().map(|c| c.arrival).min()?;
+        let tied: Vec<usize> = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.arrival == best)
+            .map(|(i, _)| i)
+            .collect();
+        Some(tied[self.rng.gen_range(0..tied.len())])
+    }
+}
+
+/// Algorithm 4 — *Maximum Marginal Value*: dispatch
+/// `n* = argmax δₙ,ₘ` (Eq. 14), i.e. the driver whose route profit grows
+/// the most by appending the task.
+#[derive(Clone, Debug, Default)]
+pub struct MaxMargin;
+
+impl MaxMargin {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl DispatchPolicy for MaxMargin {
+    fn name(&self) -> &'static str {
+        "maxMargin"
+    }
+
+    fn choose(&mut self, candidates: &[Candidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.marginal_value
+                    .partial_cmp(&b.marginal_value)
+                    .expect("finite marginal value")
+                    // Deterministic tie-break: lower driver index wins.
+                    .then(b.driver.cmp(&a.driver))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// A blended criterion: score each candidate by
+/// `marginal_value − λ · wait_minutes` and dispatch the maximiser.
+///
+/// `λ = 0` reduces to [`MaxMargin`]; large `λ` approaches [`NearestDriver`]
+/// (arrival time dominates). The ablation suite sweeps `λ` to show the two
+/// paper heuristics are endpoints of one family.
+#[derive(Clone, Debug)]
+pub struct WeightedScore {
+    lambda_per_min: f64,
+}
+
+impl WeightedScore {
+    /// Creates the policy with trade-off weight `λ` (currency per minute of
+    /// pickup wait).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda_per_min` is negative or non-finite.
+    #[must_use]
+    pub fn new(lambda_per_min: f64) -> Self {
+        assert!(
+            lambda_per_min.is_finite() && lambda_per_min >= 0.0,
+            "lambda must be a non-negative finite weight"
+        );
+        Self { lambda_per_min }
+    }
+}
+
+impl DispatchPolicy for WeightedScore {
+    fn name(&self) -> &'static str {
+        "WeightedScore"
+    }
+
+    fn choose(&mut self, candidates: &[Candidate]) -> Option<usize> {
+        // Waits are scored relative to the earliest possible arrival so the
+        // score is invariant to the task's absolute publish time.
+        let earliest = candidates.iter().map(|c| c.arrival).min()?;
+        candidates
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                let score = |c: &Candidate| {
+                    c.marginal_value
+                        - self.lambda_per_min * ((c.arrival - earliest).as_mins_f64())
+                };
+                score(a)
+                    .partial_cmp(&score(b))
+                    .expect("finite score")
+                    .then(b.driver.cmp(&a.driver))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+/// A uniform-random baseline: dispatch any feasible candidate. Used by the
+/// ablation benches to isolate how much the *selection criterion* (rather
+/// than mere feasibility filtering) contributes.
+#[derive(Debug)]
+pub struct RandomDispatch {
+    rng: StdRng,
+}
+
+impl RandomDispatch {
+    /// Creates the policy with the given seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl DispatchPolicy for RandomDispatch {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn choose(&mut self, candidates: &[Candidate]) -> Option<usize> {
+        Some(self.rng.gen_range(0..candidates.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(driver: usize, arrival_secs: i64, margin: f64) -> Candidate {
+        Candidate {
+            driver,
+            arrival: Timestamp::from_secs(arrival_secs),
+            marginal_value: margin,
+        }
+    }
+
+    #[test]
+    fn nearest_picks_earliest_arrival() {
+        let mut p = NearestDriver::new();
+        let c = vec![cand(0, 500, 9.0), cand(1, 300, 1.0), cand(2, 400, 5.0)];
+        assert_eq!(p.choose(&c), Some(1));
+    }
+
+    #[test]
+    fn nearest_breaks_ties_randomly_but_validly() {
+        let mut p = NearestDriver::with_seed(7);
+        let c = vec![cand(0, 300, 0.0), cand(1, 300, 0.0), cand(2, 900, 0.0)];
+        for _ in 0..50 {
+            let pick = p.choose(&c).unwrap();
+            assert!(pick == 0 || pick == 1, "tie-break must pick a minimum");
+        }
+    }
+
+    #[test]
+    fn max_margin_picks_largest_delta() {
+        let mut p = MaxMargin::new();
+        let c = vec![cand(0, 100, 2.0), cand(1, 900, 7.5), cand(2, 200, -1.0)];
+        assert_eq!(p.choose(&c), Some(1));
+    }
+
+    #[test]
+    fn max_margin_tie_break_deterministic() {
+        let mut p = MaxMargin::new();
+        let c = vec![cand(5, 100, 3.0), cand(2, 200, 3.0)];
+        // Equal margins → lower driver index (2) wins.
+        assert_eq!(p.choose(&c), Some(1));
+    }
+
+    #[test]
+    fn random_dispatch_stays_in_range() {
+        let mut p = RandomDispatch::with_seed(3);
+        let c = vec![cand(0, 1, 0.0), cand(1, 2, 0.0)];
+        for _ in 0..100 {
+            assert!(p.choose(&c).unwrap() < 2);
+        }
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(NearestDriver::new().name(), "Nearest");
+        assert_eq!(MaxMargin::new().name(), "maxMargin");
+        assert_eq!(RandomDispatch::with_seed(0).name(), "Random");
+        assert_eq!(WeightedScore::new(1.0).name(), "WeightedScore");
+    }
+
+    #[test]
+    fn weighted_score_zero_lambda_is_max_margin() {
+        let c = vec![cand(0, 100, 2.0), cand(1, 900, 7.5), cand(2, 200, -1.0)];
+        let mut blended = WeightedScore::new(0.0);
+        let mut mm = MaxMargin::new();
+        assert_eq!(blended.choose(&c), mm.choose(&c));
+    }
+
+    #[test]
+    fn weighted_score_large_lambda_is_nearest() {
+        // With a huge wait penalty, the earliest arrival always wins.
+        let c = vec![cand(0, 500, 9.0), cand(1, 300, 1.0), cand(2, 400, 5.0)];
+        let mut blended = WeightedScore::new(1e9);
+        assert_eq!(blended.choose(&c), Some(1));
+    }
+
+    #[test]
+    fn weighted_score_trades_margin_for_wait() {
+        // Candidate 0 arrives 10 min later but earns 3 more. λ = 0.2/min
+        // keeps it worthwhile (penalty 2 < 3); λ = 0.5/min does not.
+        let c = vec![cand(0, 600, 8.0), cand(1, 0, 5.0)];
+        assert_eq!(WeightedScore::new(0.2).choose(&c), Some(0));
+        assert_eq!(WeightedScore::new(0.5).choose(&c), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn weighted_score_rejects_negative_lambda() {
+        let _ = WeightedScore::new(-1.0);
+    }
+}

@@ -1,0 +1,489 @@
+//! The event-driven online replay (the `while task m arrives` loop of
+//! Algorithms 3–4).
+
+use rideshare_core::{Assignment, Market, Objective};
+use rideshare_geo::{GeoPoint, GridIndex};
+use rideshare_types::{DriverId, Money, TaskId, Timestamp};
+
+use crate::policy::{Candidate, DispatchPolicy};
+
+/// Options controlling a simulation run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimulationOptions {
+    /// Process tasks in descending price order instead of publish order —
+    /// the *offline* variant of maxMargin from §V-B ("it will be more
+    /// efficient to deal with the tasks which have higher values firstly"),
+    /// only meaningful when the full day is known in advance.
+    pub value_sorted: bool,
+    /// Use a spatial grid index for candidate generation instead of a
+    /// linear scan over all drivers (identical results, different cost —
+    /// kept switchable for the ablation bench).
+    pub use_grid: bool,
+}
+
+/// One dispatched task's operational record.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DispatchEvent {
+    /// The served task.
+    pub task: TaskId,
+    /// The dispatched driver.
+    pub driver: DriverId,
+    /// When the driver reached the pickup.
+    pub arrival: Timestamp,
+    /// Rider wait from order publication to pickup arrival.
+    pub wait: rideshare_types::TimeDelta,
+    /// Empty kilometres driven to reach the pickup (deadhead).
+    pub deadhead_km: f64,
+    /// Candidate-set size the policy chose from.
+    pub candidates: usize,
+}
+
+/// Outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimulationResult {
+    /// The resulting task lists (validate with
+    /// [`crate::validate_online`], *not* the offline
+    /// [`Assignment::validate`] — early finishes legitimately create chains
+    /// the offline deadline-based task map does not contain).
+    pub assignment: Assignment,
+    /// Tasks dispatched to a driver.
+    pub served: usize,
+    /// Tasks rejected (empty candidate set or policy refusal).
+    pub rejected: usize,
+    /// For each task, the driver it was dispatched to (by task index).
+    pub dispatch: Vec<Option<DriverId>>,
+    /// Operational record of every dispatched task, in dispatch order.
+    pub events: Vec<DispatchEvent>,
+}
+
+impl SimulationResult {
+    /// Fraction of tasks served — Fig. 7's metric.
+    #[must_use]
+    pub fn service_rate(&self) -> f64 {
+        let total = self.served + self.rejected;
+        if total == 0 {
+            return 0.0;
+        }
+        self.served as f64 / total as f64
+    }
+
+    /// Drivers' total profit of the dispatched routes (Eq. 4).
+    #[must_use]
+    pub fn total_profit(&self, market: &Market) -> Money {
+        self.assignment.objective_value(market, Objective::Profit)
+    }
+
+    /// Mean rider wait (publish → pickup arrival) over served tasks, in
+    /// minutes; `None` when nothing was served.
+    #[must_use]
+    pub fn mean_wait_mins(&self) -> Option<f64> {
+        if self.events.is_empty() {
+            return None;
+        }
+        Some(
+            self.events.iter().map(|e| e.wait.as_mins_f64()).sum::<f64>()
+                / self.events.len() as f64,
+        )
+    }
+
+    /// Total empty (deadhead) kilometres driven to reach pickups.
+    #[must_use]
+    pub fn total_deadhead_km(&self) -> f64 {
+        self.events.iter().map(|e| e.deadhead_km).sum()
+    }
+
+    /// Mean candidate-set size the policy chose from — a direct measure of
+    /// market thickness (singleton sets mean the criterion is irrelevant).
+    #[must_use]
+    pub fn mean_candidates(&self) -> Option<f64> {
+        if self.events.is_empty() {
+            return None;
+        }
+        Some(
+            self.events.iter().map(|e| e.candidates as f64).sum::<f64>()
+                / self.events.len() as f64,
+        )
+    }
+}
+
+/// Per-driver projected state during the replay.
+#[derive(Clone, Copy, Debug)]
+struct DriverState {
+    /// Where the driver will next be free.
+    location: GeoPoint,
+    /// When she is free there (actual projected finish, which may precede
+    /// the running task's deadline — the paper's early-finish rule).
+    available_at: Timestamp,
+    /// Tasks served so far (for Eq. 14's `m' = 0` case and diagnostics).
+    tasks_taken: u32,
+}
+
+/// The online market simulator.
+///
+/// Holds a reference to the market; each [`Simulator::run`] replays the
+/// order stream from scratch, so one simulator can evaluate many policies
+/// on identical conditions.
+#[derive(Clone, Debug)]
+pub struct Simulator<'m> {
+    market: &'m Market,
+}
+
+impl<'m> Simulator<'m> {
+    /// Creates a simulator over `market`.
+    #[must_use]
+    pub fn new(market: &'m Market) -> Self {
+        Self { market }
+    }
+
+    /// Replays every task through `policy` under `options`.
+    #[must_use]
+    pub fn run(&self, policy: &mut dyn DispatchPolicy, options: SimulationOptions) -> SimulationResult {
+        let market = self.market;
+        let n = market.num_drivers();
+        let m = market.num_tasks();
+        let speed = market.speed();
+
+        let mut states: Vec<DriverState> = market
+            .drivers()
+            .iter()
+            .map(|d| DriverState {
+                location: d.source,
+                available_at: d.shift_start,
+                tasks_taken: 0,
+            })
+            .collect();
+
+        // Optional spatial index over projected driver locations.
+        let mut grid: Option<GridIndex<u32>> = options.use_grid.then(|| {
+            let mut g = GridIndex::new(market_bbox(market), 16, 16);
+            for (i, s) in states.iter().enumerate() {
+                g.insert(s.location, i as u32);
+            }
+            g
+        });
+
+        // Arrival order: publish time, or descending price for the offline
+        // value-sorted variant.
+        let mut order: Vec<usize> = (0..m).collect();
+        if options.value_sorted {
+            order.sort_by(|&a, &b| {
+                let ta = &market.tasks()[a];
+                let tb = &market.tasks()[b];
+                tb.price
+                    .partial_cmp(&ta.price)
+                    .expect("finite price")
+                    .then(a.cmp(&b))
+            });
+        } else {
+            order.sort_by_key(|&t| (market.tasks()[t].publish_time, t));
+        }
+
+        let mut assignment = Assignment::empty(n);
+        let mut dispatch: Vec<Option<DriverId>> = vec![None; m];
+        let mut events: Vec<DispatchEvent> = Vec::new();
+        let mut served = 0usize;
+        let mut rejected = 0usize;
+
+        for &ti in &order {
+            let task = &market.tasks()[ti];
+            let candidates = self.candidates(&states, grid.as_ref(), ti);
+            let choice = if candidates.is_empty() {
+                None
+            } else {
+                policy.choose(&candidates)
+            };
+            match choice {
+                None => rejected += 1,
+                Some(k) => {
+                    let cand = candidates[k];
+                    let d = cand.driver;
+                    let finish = cand.arrival + task.duration;
+                    let old_loc = states[d].location;
+                    states[d] = DriverState {
+                        location: task.destination,
+                        available_at: finish,
+                        tasks_taken: states[d].tasks_taken + 1,
+                    };
+                    if let Some(g) = grid.as_mut() {
+                        g.relocate(old_loc, task.destination, d as u32);
+                    }
+                    assignment.push_task(DriverId::new(d as u32), TaskId::new(ti as u32));
+                    dispatch[ti] = Some(DriverId::new(d as u32));
+                    events.push(DispatchEvent {
+                        task: TaskId::new(ti as u32),
+                        driver: DriverId::new(d as u32),
+                        arrival: cand.arrival,
+                        wait: cand.arrival - task.publish_time,
+                        deadhead_km: speed.driven_km(old_loc, task.origin),
+                        candidates: candidates.len(),
+                    });
+                    served += 1;
+                }
+            }
+        }
+
+        SimulationResult {
+            assignment,
+            served,
+            rejected,
+            dispatch,
+            events,
+        }
+    }
+
+    /// Step (a) of Algorithms 3–4: every driver who can reach the pickup
+    /// from her projected position in time, can still get home afterwards,
+    /// and is inside her shift.
+    fn candidates(
+        &self,
+        states: &[DriverState],
+        grid: Option<&GridIndex<u32>>,
+        task_idx: usize,
+    ) -> Vec<Candidate> {
+        let market = self.market;
+        let speed = market.speed();
+        let task = &market.tasks()[task_idx];
+        if !task.window_feasible() {
+            return Vec::new();
+        }
+
+        let mut out = Vec::new();
+        let mut consider = |d: usize| {
+            let driver = &market.drivers()[d];
+            let st = &states[d];
+            // Departure: not before the order exists, the driver is free,
+            // and her shift has started.
+            let depart = st
+                .available_at
+                .max(task.publish_time)
+                .max(driver.shift_start);
+            let to_pickup = speed.travel_time(st.location, task.origin);
+            let arrival = depart + to_pickup;
+            if arrival > task.pickup_deadline {
+                return;
+            }
+            // Return-home feasibility against the task's completion
+            // deadline (conservative: the driver may finish earlier, but
+            // she must be able to honour the promised window).
+            let back = speed.travel_time(task.destination, driver.destination);
+            if task.completion_deadline + back > driver.shift_end {
+                return;
+            }
+            // Eq. 14: δₙ,ₘ = pₘ − (cₙ,ₘ,₋₁ + ĉₙ,ₘ + cₙ,ₘ',ₘ − cₙ,ₘ',₋₁).
+            let to_pickup_cost = speed.travel_cost(st.location, task.origin);
+            let new_return = speed.travel_cost(task.destination, driver.destination);
+            let old_return = speed.travel_cost(st.location, driver.destination);
+            let delta = task.price - new_return - task.service_cost - to_pickup_cost + old_return;
+            out.push(Candidate {
+                driver: d,
+                arrival,
+                marginal_value: delta.as_f64(),
+            });
+        };
+
+        match grid {
+            Some(g) => {
+                // Any driver farther than the loosest possible travel budget
+                // cannot arrive in time.
+                let budget = task.pickup_deadline - task.publish_time;
+                let radius = speed.reachable_km(budget);
+                for d in g.query_radius(task.origin, radius) {
+                    consider(d as usize);
+                }
+            }
+            None => {
+                for d in 0..states.len() {
+                    consider(d);
+                }
+            }
+        }
+        out.sort_by_key(|c| c.driver);
+        out
+    }
+}
+
+fn market_bbox(market: &Market) -> rideshare_geo::BoundingBox {
+    // Cover every driver and task location with a margin; degenerate
+    // markets fall back to a unit box.
+    let mut pts = market
+        .drivers()
+        .iter()
+        .map(|d| d.source)
+        .chain(market.drivers().iter().map(|d| d.destination))
+        .chain(market.tasks().iter().map(|t| t.origin))
+        .chain(market.tasks().iter().map(|t| t.destination));
+    let Some(first) = pts.next() else {
+        return rideshare_geo::BoundingBox::new(0.0, 1.0, 0.0, 1.0);
+    };
+    let (mut lat_lo, mut lat_hi) = (first.lat(), first.lat());
+    let (mut lon_lo, mut lon_hi) = (first.lon(), first.lon());
+    for p in pts {
+        lat_lo = lat_lo.min(p.lat());
+        lat_hi = lat_hi.max(p.lat());
+        lon_lo = lon_lo.min(p.lon());
+        lon_hi = lon_hi.max(p.lon());
+    }
+    rideshare_geo::BoundingBox::new(lat_lo - 0.01, lat_hi + 0.01, lon_lo - 0.01, lon_hi + 0.01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{MaxMargin, NearestDriver, RandomDispatch};
+    use crate::validate_online;
+    use rideshare_core::MarketBuildOptions;
+    use rideshare_trace::{DriverModel, TraceConfig};
+
+    fn market(seed: u64, tasks: usize, drivers: usize) -> Market {
+        let trace = TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, DriverModel::Hitchhiking)
+            .generate();
+        Market::from_trace(&trace, &MarketBuildOptions::default())
+    }
+
+    #[test]
+    fn all_tasks_accounted_for() {
+        let m = market(41, 120, 15);
+        let sim = Simulator::new(&m);
+        for policy in [
+            &mut NearestDriver::new() as &mut dyn DispatchPolicy,
+            &mut MaxMargin::new(),
+            &mut RandomDispatch::with_seed(1),
+        ] {
+            let r = sim.run(policy, SimulationOptions::default());
+            assert_eq!(r.served + r.rejected, m.num_tasks());
+            assert_eq!(r.served, r.assignment.served_count());
+            assert_eq!(
+                r.dispatch.iter().filter(|d| d.is_some()).count(),
+                r.served
+            );
+            validate_online(&m, &r.assignment).unwrap();
+        }
+    }
+
+    #[test]
+    fn grid_and_linear_scan_agree() {
+        let m = market(42, 150, 20);
+        let sim = Simulator::new(&m);
+        let linear = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+        let grid = sim.run(
+            &mut MaxMargin::new(),
+            SimulationOptions {
+                use_grid: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(linear.dispatch, grid.dispatch);
+        assert_eq!(linear.served, grid.served);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let m = market(43, 100, 10);
+        let sim = Simulator::new(&m);
+        let a = sim.run(&mut NearestDriver::with_seed(5), SimulationOptions::default());
+        let b = sim.run(&mut NearestDriver::with_seed(5), SimulationOptions::default());
+        assert_eq!(a.dispatch, b.dispatch);
+    }
+
+    #[test]
+    fn served_profit_non_negative_margins() {
+        // maxMargin never dispatches a negative-margin candidate when a
+        // positive one exists — total profit should be positive on a
+        // healthy market.
+        let m = market(44, 150, 60);
+        let sim = Simulator::new(&m);
+        let r = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+        assert!(r.total_profit(&m).is_strictly_positive());
+        // Hitchhiking shifts are short commuter windows, so coverage of a
+        // full day is sparse; with 60 drivers a healthy slice gets served.
+        assert!(r.service_rate() > 0.05, "rate {}", r.service_rate());
+    }
+
+    #[test]
+    fn value_sorted_processes_high_prices_first() {
+        let m = market(45, 100, 3);
+        let sim = Simulator::new(&m);
+        let online = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+        let sorted = sim.run(
+            &mut MaxMargin::new(),
+            SimulationOptions {
+                value_sorted: true,
+                ..Default::default()
+            },
+        );
+        // With scarce supply, prioritising valuable tasks should not lose
+        // revenue relative to arrival order.
+        let rev_online = online.assignment.total_revenue(&m);
+        let rev_sorted = sorted.assignment.total_revenue(&m);
+        assert!(
+            rev_sorted.as_f64() >= rev_online.as_f64() * 0.9,
+            "sorted {rev_sorted} online {rev_online}"
+        );
+    }
+
+    #[test]
+    fn empty_market_zero_everything() {
+        let m = market(46, 0, 5);
+        let sim = Simulator::new(&m);
+        let r = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+        assert_eq!(r.served, 0);
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.service_rate(), 0.0);
+    }
+
+    #[test]
+    fn no_drivers_rejects_everything() {
+        let m = market(47, 50, 0);
+        let sim = Simulator::new(&m);
+        let r = sim.run(&mut NearestDriver::new(), SimulationOptions::default());
+        assert_eq!(r.served, 0);
+        assert_eq!(r.rejected, 50);
+    }
+
+    #[test]
+    fn events_are_consistent_with_dispatch() {
+        let m = market(49, 150, 30);
+        let sim = Simulator::new(&m);
+        let r = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+        assert_eq!(r.events.len(), r.served);
+        for e in &r.events {
+            assert_eq!(r.dispatch[e.task.index()], Some(e.driver));
+            let task = &m.tasks()[e.task.index()];
+            assert!(e.arrival <= task.pickup_deadline, "late arrival logged");
+            assert!(e.wait.is_non_negative(), "negative wait");
+            assert!(e.deadhead_km >= 0.0);
+            assert!(e.candidates >= 1);
+        }
+        if r.served > 0 {
+            assert!(r.mean_wait_mins().unwrap() >= 0.0);
+            assert!(r.total_deadhead_km() >= 0.0);
+            assert!(r.mean_candidates().unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_run_has_no_event_stats() {
+        let m = market(50, 0, 3);
+        let r = Simulator::new(&m).run(&mut MaxMargin::new(), SimulationOptions::default());
+        assert!(r.mean_wait_mins().is_none());
+        assert!(r.mean_candidates().is_none());
+        assert_eq!(r.total_deadhead_km(), 0.0);
+    }
+
+    #[test]
+    fn more_drivers_serve_more() {
+        let small = market(48, 200, 5);
+        let big = market(48, 200, 60);
+        let r_small = Simulator::new(&small).run(&mut MaxMargin::new(), SimulationOptions::default());
+        let r_big = Simulator::new(&big).run(&mut MaxMargin::new(), SimulationOptions::default());
+        assert!(
+            r_big.served > r_small.served,
+            "big {} vs small {}",
+            r_big.served,
+            r_small.served
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Feasibility validation under actual (simulated) timing.
+//!
+//! The offline task map chains tasks using the *estimated* completion
+//! deadline `t̄⁺ₘ`; online, a driver who finishes early may legally take a
+//! follow-up task the offline map has no arc for ("when the task m finishes
+//! before t̄⁺ₘ, we use the real finish time", §III-B). This validator
+//! replays each route with real timing, which is the correct feasibility
+//! notion for online results.
+
+use rideshare_core::{Assignment, Market};
+use rideshare_types::{MarketError, Result};
+
+/// Validates an online assignment by replaying every driver's route with
+/// actual arrival/finish times.
+///
+/// Checks, per driver:
+///
+/// - the route departs no earlier than the shift start and each pickup is
+///   reached by its deadline (with service starting on arrival),
+/// - consecutive tasks are reachable from the *real* finish times,
+/// - the driver reaches her own destination (conservatively from each
+///   task's completion deadline) before her shift ends,
+/// - no task is served twice across drivers (5a).
+///
+/// # Errors
+///
+/// Returns [`MarketError::InfeasibleAssignment`] describing the first
+/// violated condition.
+pub fn validate_online(market: &Market, assignment: &Assignment) -> Result<()> {
+    if assignment.routes().len() != market.num_drivers() {
+        return Err(MarketError::InfeasibleAssignment {
+            reason: format!(
+                "{} routes for {} drivers",
+                assignment.routes().len(),
+                market.num_drivers()
+            ),
+        });
+    }
+    let speed = market.speed();
+    let mut seen = vec![false; market.num_tasks()];
+    for (n, route) in assignment.routes().iter().enumerate() {
+        let driver = &market.drivers()[n];
+        let mut loc = driver.source;
+        let mut free_at = driver.shift_start;
+        for t in &route.tasks {
+            let m = t.index();
+            if m >= market.num_tasks() {
+                return Err(MarketError::UnknownTask(*t));
+            }
+            if seen[m] {
+                return Err(MarketError::InfeasibleAssignment {
+                    reason: format!("(5a) {t} served twice"),
+                });
+            }
+            seen[m] = true;
+            let task = &market.tasks()[m];
+            let depart = free_at.max(task.publish_time);
+            let arrival = depart + speed.travel_time(loc, task.origin);
+            if arrival > task.pickup_deadline {
+                return Err(MarketError::InfeasibleAssignment {
+                    reason: format!(
+                        "driver#{n} reaches {t} at {arrival}, after deadline {}",
+                        task.pickup_deadline
+                    ),
+                });
+            }
+            free_at = arrival + task.duration;
+            loc = task.destination;
+            // The platform promised the customer completion by t̄⁺ₘ and the
+            // driver return-feasibility is judged against that promise.
+            let back = speed.travel_time(task.destination, driver.destination);
+            if task.completion_deadline + back > driver.shift_end {
+                return Err(MarketError::InfeasibleAssignment {
+                    reason: format!("driver#{n} cannot reach home after {t}"),
+                });
+            }
+        }
+        // Final leg home from the actual finish time.
+        let home = free_at + speed.travel_time(loc, driver.destination);
+        if home > driver.shift_end {
+            return Err(MarketError::InfeasibleAssignment {
+                reason: format!("driver#{n} arrives home at {home}, after shift end"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rideshare_core::{Driver, Market, Task};
+    use rideshare_geo::{GeoPoint, SpeedModel};
+    use rideshare_trace::DriverModel;
+    use rideshare_types::{DriverId, Money, TaskId, TimeDelta, Timestamp};
+
+    fn pt(km_east: f64) -> GeoPoint {
+        GeoPoint::new(41.15, -8.61).offset_km(0.0, km_east)
+    }
+
+    fn task(id: u32, at: f64, publish: i64, pickup: i64, completion: i64, dur: i64) -> Task {
+        Task {
+            id: TaskId::new(id),
+            publish_time: Timestamp::from_secs(publish),
+            origin: pt(at),
+            destination: pt(at),
+            pickup_deadline: Timestamp::from_secs(pickup),
+            completion_deadline: Timestamp::from_secs(completion),
+            duration: TimeDelta::from_secs(dur),
+            price: Money::new(5.0),
+            valuation: Money::new(6.0),
+            service_cost: Money::ZERO,
+        }
+    }
+
+    fn driver(start: i64, end: i64) -> Driver {
+        Driver {
+            id: DriverId::new(0),
+            source: pt(0.0),
+            destination: pt(0.0),
+            shift_start: Timestamp::from_secs(start),
+            shift_end: Timestamp::from_secs(end),
+            model: DriverModel::HomeWorkHome,
+        }
+    }
+
+    fn speed() -> SpeedModel {
+        SpeedModel::new(60.0, 1.0, 0.1)
+    }
+
+    #[test]
+    fn early_finish_chain_valid_online_but_not_offline() {
+        // Task 0: long estimated window (t̄⁺ = 4000) but short actual
+        // duration (600 s). Task 1 starts at 2000: offline arc 0→1 needs
+        // t̄⁻₁ ≥ t̄⁺₀ — absent; online the driver finishes at ~1600 and
+        // makes it easily.
+        let t0 = task(0, 1.0, 0, 1000, 4000, 600);
+        let t1 = task(1, 1.0, 900, 2000, 2600, 300);
+        let market = Market::new(vec![driver(0, 10_000)], vec![t0, t1], speed(), None);
+        assert!(!market.has_chain_edge(0, 1), "offline map must lack the arc");
+        let mut a = rideshare_core::Assignment::empty(1);
+        a.set_route(DriverId::new(0), vec![TaskId::new(0), TaskId::new(1)]);
+        assert!(a.validate(&market).is_err(), "offline validation rejects");
+        validate_online(&market, &a).expect("online validation accepts");
+    }
+
+    #[test]
+    fn missed_pickup_rejected() {
+        // Pickup 10 km away with a 5-minute budget at 60 km/h.
+        let t0 = task(0, 10.0, 0, 300, 1200, 60);
+        let market = Market::new(vec![driver(0, 10_000)], vec![t0], speed(), None);
+        let mut a = rideshare_core::Assignment::empty(1);
+        a.set_route(DriverId::new(0), vec![TaskId::new(0)]);
+        let err = validate_online(&market, &a).unwrap_err();
+        assert!(err.to_string().contains("after deadline"), "{err}");
+    }
+
+    #[test]
+    fn shift_end_violation_rejected() {
+        let t0 = task(0, 1.0, 0, 500, 9_500, 60);
+        // Shift ends before the completion deadline + return.
+        let market = Market::new(vec![driver(0, 5_000)], vec![t0], speed(), None);
+        let mut a = rideshare_core::Assignment::empty(1);
+        a.set_route(DriverId::new(0), vec![TaskId::new(0)]);
+        assert!(validate_online(&market, &a).is_err());
+    }
+
+    #[test]
+    fn duplicate_task_rejected() {
+        let t0 = task(0, 1.0, 0, 500, 1500, 60);
+        let d0 = driver(0, 10_000);
+        let d1 = Driver {
+            id: DriverId::new(1),
+            ..d0
+        };
+        let market = Market::new(vec![d0, d1], vec![t0], speed(), None);
+        let mut a = rideshare_core::Assignment::empty(2);
+        a.push_task(DriverId::new(0), TaskId::new(0));
+        a.push_task(DriverId::new(1), TaskId::new(0));
+        let err = validate_online(&market, &a).unwrap_err();
+        assert!(err.to_string().contains("(5a)"), "{err}");
+    }
+
+    #[test]
+    fn empty_assignment_always_valid() {
+        let market = Market::new(vec![driver(0, 100)], vec![], speed(), None);
+        validate_online(&market, &rideshare_core::Assignment::empty(1)).unwrap();
+    }
+}

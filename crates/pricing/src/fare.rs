@@ -1,0 +1,150 @@
+//! The linear surge fare of the paper's Eq. 15.
+
+use rideshare_types::{Money, TimeDelta};
+
+/// Computes task payoffs `pₘ = αₘ · (β₁ · distance + β₂ · duration)`.
+///
+/// `β₁` is in currency per kilometre, `β₂` in currency per minute; both are
+/// "global constants" in the paper. The duration argument is the task's
+/// time window `t̄⁺ₘ − t̄⁻ₘ` exactly as Eq. 15 specifies.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_pricing::FareModel;
+/// use rideshare_types::TimeDelta;
+/// let fare = FareModel::new(0.8, 0.25, 1.5);
+/// let p = fare.price(10.0, TimeDelta::from_mins(20), 1.0);
+/// // base 1.5 + 0.8*10 + 0.25*20 = 14.5
+/// assert!((p.as_f64() - 14.5).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct FareModel {
+    beta1_per_km: f64,
+    beta2_per_min: f64,
+    base_fare: f64,
+}
+
+impl FareModel {
+    /// Creates a fare model; `base_fare` is the flag-drop amount (set it to
+    /// zero for the paper's strict Eq. 15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is negative or non-finite.
+    #[must_use]
+    pub fn new(beta1_per_km: f64, beta2_per_min: f64, base_fare: f64) -> Self {
+        for (name, v) in [
+            ("beta1_per_km", beta1_per_km),
+            ("beta2_per_min", beta2_per_min),
+            ("base_fare", base_fare),
+        ] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be >= 0, got {v}");
+        }
+        Self {
+            beta1_per_km,
+            beta2_per_min,
+            base_fare,
+        }
+    }
+
+    /// Porto taxi tariff, approximately: €0.47/km plus waiting/time component
+    /// of €0.25/min over a €2 flag drop — keeps fares comfortably above the
+    /// €0.12/km driving cost so the market has positive surplus, as in the
+    /// real trace.
+    #[must_use]
+    pub fn porto_taxi() -> Self {
+        Self::new(0.47, 0.25, 2.0)
+    }
+
+    /// Distance coefficient `β₁` (currency per km).
+    #[must_use]
+    pub const fn beta1_per_km(&self) -> f64 {
+        self.beta1_per_km
+    }
+
+    /// Time coefficient `β₂` (currency per minute).
+    #[must_use]
+    pub const fn beta2_per_min(&self) -> f64 {
+        self.beta2_per_min
+    }
+
+    /// Flag-drop component.
+    #[must_use]
+    pub const fn base_fare(&self) -> f64 {
+        self.base_fare
+    }
+
+    /// Prices a task from its driven distance, time window, and surge
+    /// multiplier (Eq. 15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `surge_multiplier < 1.0` (surge never discounts below the
+    /// base rate) or `distance_km < 0`.
+    #[must_use]
+    pub fn price(&self, distance_km: f64, window: TimeDelta, surge_multiplier: f64) -> Money {
+        assert!(distance_km >= 0.0, "negative distance");
+        assert!(
+            surge_multiplier >= 1.0,
+            "surge multiplier below 1: {surge_multiplier}"
+        );
+        let mins = window.as_mins_f64().max(0.0);
+        Money::new(
+            surge_multiplier
+                * (self.base_fare + self.beta1_per_km * distance_km + self.beta2_per_min * mins),
+        )
+    }
+}
+
+impl Default for FareModel {
+    fn default() -> Self {
+        Self::porto_taxi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_components() {
+        let f = FareModel::new(1.0, 2.0, 0.0);
+        let p = f.price(3.0, TimeDelta::from_mins(4), 1.0);
+        assert!((p.as_f64() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn surge_scales_linearly() {
+        let f = FareModel::porto_taxi();
+        let p1 = f.price(5.0, TimeDelta::from_mins(10), 1.0);
+        let p3 = f.price(5.0, TimeDelta::from_mins(10), 3.0);
+        assert!(p3.approx_eq(p1 * 3.0));
+    }
+
+    #[test]
+    fn zero_trip_costs_base_fare() {
+        let f = FareModel::new(0.5, 0.5, 2.5);
+        let p = f.price(0.0, rideshare_types::TimeDelta::ZERO, 1.0);
+        assert!((p.as_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_window_treated_as_zero() {
+        let f = FareModel::new(1.0, 1.0, 0.0);
+        let p = f.price(2.0, TimeDelta::from_mins(-5), 1.0);
+        assert!((p.as_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "surge multiplier below 1")]
+    fn rejects_discount_surge() {
+        let _ = FareModel::porto_taxi().price(1.0, TimeDelta::from_mins(1), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 0")]
+    fn rejects_negative_coefficients() {
+        let _ = FareModel::new(-0.1, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Pricing substrate: surge multipliers, fares, and willingness-to-pay.
+//!
+//! The paper prices each task with a *simplified surge pricing* rule
+//! (§VI-A, Eq. 15):
+//!
+//! ```text
+//! pₘ = αₘ · (β₁ · dis(s̄ₘ, d̄ₘ) + β₂ · (t̄⁺ₘ − t̄⁻ₘ))
+//! ```
+//!
+//! where `αₘ` is the Uber-style *surge multiplier* — "the price rate …
+//! increases when demand is higher than supply for a given geographic area"
+//! (§III-A, citing Chen & Sheldon's measurement study). This crate provides:
+//!
+//! - [`FareModel`]: the linear fare of Eq. 15 (`β₁`, `β₂` constants),
+//! - [`SurgeEngine`]: per-cell demand/supply tracking over a
+//!   [`rideshare_geo::GridIndex`]-compatible cell space, with the standard
+//!   clamped power-curve multiplier,
+//! - [`WtpModel`]: customer valuations `bₘ ≥ pₘ` (a customer "will only
+//!   admit to publish the task when her WTP is higher than the price"),
+//!   drawn as a log-normal markup over the fare.
+//!
+//! # Examples
+//!
+//! ```
+//! use rideshare_pricing::FareModel;
+//! use rideshare_types::TimeDelta;
+//!
+//! let fare = FareModel::porto_taxi();
+//! // A 5 km, 15-minute ride at surge 1.0.
+//! let p = fare.price(5.0, TimeDelta::from_mins(15), 1.0);
+//! assert!(p.as_f64() > 3.0 && p.as_f64() < 15.0);
+//! // Surge 2× doubles it.
+//! let p2 = fare.price(5.0, TimeDelta::from_mins(15), 2.0);
+//! assert!(p2.approx_eq(p * 2.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fare;
+mod surge;
+mod wtp;
+
+pub use fare::FareModel;
+pub use surge::{SurgeConfig, SurgeEngine};
+pub use wtp::WtpModel;

@@ -1,0 +1,122 @@
+//! Error types shared across the framework.
+
+use core::fmt;
+
+use crate::{DriverId, TaskId};
+
+/// A convenient alias for results in the rideshare framework.
+pub type Result<T, E = MarketError> = core::result::Result<T, E>;
+
+/// Errors raised when constructing or solving market instances.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_types::{MarketError, TaskId};
+/// let err = MarketError::UnknownTask(TaskId::new(9));
+/// assert_eq!(err.to_string(), "unknown task: task#9");
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum MarketError {
+    /// A driver id referenced an index outside `0..N`.
+    UnknownDriver(DriverId),
+    /// A task id referenced an index outside `0..M`.
+    UnknownTask(TaskId),
+    /// A driver or task has an inverted time window (`end ≤ start`).
+    InvalidTimeWindow {
+        /// Human-readable description of the offending entity.
+        entity: String,
+    },
+    /// A task's publish time is not strictly before its pickup deadline
+    /// (the paper requires `t̄ₘ < t̄⁻ₘ < t̄⁺ₘ`).
+    PublishAfterStart(TaskId),
+    /// An assignment violated a model constraint (5a–5f); describes which.
+    InfeasibleAssignment {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// An optimization model was malformed (e.g. mismatched dimensions).
+    InvalidModel {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The LP solver detected an unbounded problem.
+    Unbounded,
+    /// The LP/ILP solver proved the problem infeasible.
+    Infeasible,
+    /// An iterative solver exceeded its iteration budget.
+    IterationLimit {
+        /// The budget that was exhausted.
+        limit: usize,
+    },
+    /// Numerical breakdown (NaN/Inf encountered) in a solver.
+    Numerical {
+        /// Description of where the breakdown happened.
+        context: String,
+    },
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::UnknownDriver(d) => write!(f, "unknown driver: {d}"),
+            MarketError::UnknownTask(t) => write!(f, "unknown task: {t}"),
+            MarketError::InvalidTimeWindow { entity } => {
+                write!(f, "invalid time window for {entity}")
+            }
+            MarketError::PublishAfterStart(t) => {
+                write!(f, "{t} published at or after its pickup deadline")
+            }
+            MarketError::InfeasibleAssignment { reason } => {
+                write!(f, "infeasible assignment: {reason}")
+            }
+            MarketError::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
+            MarketError::Unbounded => write!(f, "problem is unbounded"),
+            MarketError::Infeasible => write!(f, "problem is infeasible"),
+            MarketError::IterationLimit { limit } => {
+                write!(f, "iteration limit of {limit} exceeded")
+            }
+            MarketError::Numerical { context } => {
+                write!(f, "numerical breakdown in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            MarketError::UnknownDriver(DriverId::new(1)).to_string(),
+            "unknown driver: driver#1"
+        );
+        assert_eq!(
+            MarketError::PublishAfterStart(TaskId::new(2)).to_string(),
+            "task#2 published at or after its pickup deadline"
+        );
+        assert_eq!(MarketError::Unbounded.to_string(), "problem is unbounded");
+        assert_eq!(
+            MarketError::IterationLimit { limit: 10 }.to_string(),
+            "iteration limit of 10 exceeded"
+        );
+        assert_eq!(
+            MarketError::Numerical {
+                context: "simplex pivot".into()
+            }
+            .to_string(),
+            "numerical breakdown in simplex pivot"
+        );
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> = Box::new(MarketError::Infeasible);
+        assert_eq!(err.to_string(), "problem is infeasible");
+    }
+}

@@ -1,0 +1,236 @@
+//! Identifier newtypes for drivers, tasks, and task-map nodes.
+
+use core::fmt;
+
+/// Identifier of a driver, `n ∈ [N]` in the paper's notation.
+///
+/// Driver ids are dense indices (`0..N`) so they can index into `Vec`-backed
+/// per-driver tables.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_types::DriverId;
+/// let d = DriverId::new(3);
+/// assert_eq!(d.index(), 3);
+/// assert_eq!(d.to_string(), "driver#3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct DriverId(u32);
+
+impl DriverId {
+    /// Creates a driver id from its dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the dense index as a `usize`, suitable for table lookups.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for DriverId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "driver#{}", self.0)
+    }
+}
+
+impl From<u32> for DriverId {
+    fn from(value: u32) -> Self {
+        Self(value)
+    }
+}
+
+/// Identifier of a task (an order placed by a customer), `m ∈ [M]`.
+///
+/// Task ids are dense indices (`0..M`).
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_types::TaskId;
+/// let t = TaskId::new(12);
+/// assert_eq!(t.index(), 12);
+/// assert_eq!(t.to_string(), "task#12");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Creates a task id from its dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the dense index as a `usize`, suitable for table lookups.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    fn from(value: u32) -> Self {
+        Self(value)
+    }
+}
+
+/// A node in a driver's task map, the set `[M̂] = {−1, 0} ∪ [M]`.
+///
+/// The paper labels a driver's own origin `0` and her final destination `−1`;
+/// every task is an interior node. We encode this as an enum rather than a
+/// sentinel integer so the compiler rules out arithmetic on sentinels.
+///
+/// The ordering places [`NodeId::Source`] first, task nodes in task order
+/// next, and [`NodeId::Sink`] last, which matches a valid topological order
+/// position for sources and sinks in any task map.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_types::{NodeId, TaskId};
+/// let n = NodeId::Task(TaskId::new(4));
+/// assert!(NodeId::Source < n && n < NodeId::Sink);
+/// assert_eq!(n.task(), Some(TaskId::new(4)));
+/// assert_eq!(NodeId::Source.task(), None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeId {
+    /// The driver's origin, labelled `0` in the paper.
+    Source,
+    /// A task node, labelled `m ∈ [M]` in the paper.
+    Task(TaskId),
+    /// The driver's final destination, labelled `−1` in the paper.
+    Sink,
+}
+
+impl NodeId {
+    /// Returns the contained task id, or `None` for the source/sink nodes.
+    #[must_use]
+    pub const fn task(self) -> Option<TaskId> {
+        match self {
+            NodeId::Task(t) => Some(t),
+            NodeId::Source | NodeId::Sink => None,
+        }
+    }
+
+    /// Returns `true` if this node is a task node.
+    #[must_use]
+    pub const fn is_task(self) -> bool {
+        matches!(self, NodeId::Task(_))
+    }
+
+    fn rank(self) -> (u8, u32) {
+        match self {
+            NodeId::Source => (0, 0),
+            NodeId::Task(t) => (1, t.raw()),
+            NodeId::Sink => (2, 0),
+        }
+    }
+}
+
+impl PartialOrd for NodeId {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NodeId {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Source => write!(f, "source(0)"),
+            NodeId::Task(t) => write!(f, "{t}"),
+            NodeId::Sink => write!(f, "sink(-1)"),
+        }
+    }
+}
+
+impl From<TaskId> for NodeId {
+    fn from(value: TaskId) -> Self {
+        NodeId::Task(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_id_round_trip() {
+        let d = DriverId::new(42);
+        assert_eq!(d.index(), 42);
+        assert_eq!(d.raw(), 42);
+        assert_eq!(DriverId::from(42u32), d);
+    }
+
+    #[test]
+    fn task_id_round_trip() {
+        let t = TaskId::new(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(TaskId::from(7u32), t);
+    }
+
+    #[test]
+    fn node_ordering_source_tasks_sink() {
+        let mut nodes = vec![
+            NodeId::Sink,
+            NodeId::Task(TaskId::new(5)),
+            NodeId::Source,
+            NodeId::Task(TaskId::new(1)),
+        ];
+        nodes.sort();
+        assert_eq!(
+            nodes,
+            vec![
+                NodeId::Source,
+                NodeId::Task(TaskId::new(1)),
+                NodeId::Task(TaskId::new(5)),
+                NodeId::Sink,
+            ]
+        );
+    }
+
+    #[test]
+    fn node_task_extraction() {
+        assert_eq!(NodeId::Source.task(), None);
+        assert_eq!(NodeId::Sink.task(), None);
+        assert_eq!(NodeId::Task(TaskId::new(3)).task(), Some(TaskId::new(3)));
+        assert!(NodeId::Task(TaskId::new(3)).is_task());
+        assert!(!NodeId::Source.is_task());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId::Source.to_string(), "source(0)");
+        assert_eq!(NodeId::Sink.to_string(), "sink(-1)");
+        assert_eq!(NodeId::Task(TaskId::new(2)).to_string(), "task#2");
+    }
+}

@@ -1,0 +1,224 @@
+//! Monetary amounts: prices `pₘ`, willingness-to-pay `bₘ`, and travel costs.
+//!
+//! Amounts are stored as `f64` (the optimization layer works over the reals;
+//! the LP relaxation bound `Z_f*` is inherently fractional) wrapped in a
+//! newtype so money is never confused with distances or durations. A small
+//! tolerance-based comparison is provided for test assertions.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A monetary amount in currency units (e.g. euros).
+///
+/// Supports the arithmetic the market formulations need: sums of revenues,
+/// cost subtraction, and scaling by dimensionless factors (surge
+/// multipliers).
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_types::Money;
+/// let fare = Money::new(12.5);
+/// let surge = fare * 1.8;
+/// assert!(surge.approx_eq(Money::new(22.5)));
+/// assert_eq!(Money::from_cents(150), Money::new(1.5));
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct Money(f64);
+
+impl Money {
+    /// Zero currency units.
+    pub const ZERO: Money = Money(0.0);
+
+    /// Tolerance used by [`Money::approx_eq`]: one hundredth of a cent.
+    pub const EPSILON: f64 = 1e-4;
+
+    /// Creates an amount from currency units.
+    #[must_use]
+    pub const fn new(units: f64) -> Self {
+        Self(units)
+    }
+
+    /// Creates an amount from integer cents.
+    #[must_use]
+    pub fn from_cents(cents: i64) -> Self {
+        Self(cents as f64 / 100.0)
+    }
+
+    /// Returns the amount in currency units.
+    #[must_use]
+    pub const fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if the two amounts differ by at most [`Money::EPSILON`].
+    #[must_use]
+    pub fn approx_eq(self, other: Money) -> bool {
+        (self.0 - other.0).abs() <= Self::EPSILON
+    }
+
+    /// Returns `true` if the amount is strictly greater than
+    /// [`Money::EPSILON`] — the "strictly positive profit" test used by the
+    /// greedy algorithm (paper Alg. 1 only selects paths with `r_π > 0`).
+    #[must_use]
+    pub fn is_strictly_positive(self) -> bool {
+        self.0 > Self::EPSILON
+    }
+
+    /// Returns `true` if the amount is negative beyond tolerance.
+    #[must_use]
+    pub fn is_strictly_negative(self) -> bool {
+        self.0 < -Self::EPSILON
+    }
+
+    /// Returns the larger of two amounts.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two amounts.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `true` if the amount is finite (not NaN or infinite).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}", self.0)
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<f64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: f64) -> Money {
+        Money(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Money {
+    type Output = Money;
+    fn div(self, rhs: f64) -> Money {
+        Money(self.0 / rhs)
+    }
+}
+
+impl core::iter::Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl<'a> core::iter::Sum<&'a Money> for Money {
+    fn sum<I: Iterator<Item = &'a Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |acc, x| acc + *x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Money::new(1.5).as_f64(), 1.5);
+        assert_eq!(Money::from_cents(150), Money::new(1.5));
+        assert_eq!(Money::ZERO.as_f64(), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::new(10.0);
+        let b = Money::new(4.0);
+        assert_eq!(a + b, Money::new(14.0));
+        assert_eq!(a - b, Money::new(6.0));
+        assert_eq!(-b, Money::new(-4.0));
+        assert_eq!(a * 0.5, Money::new(5.0));
+        assert_eq!(a / 2.0, Money::new(5.0));
+        let mut c = a;
+        c += b;
+        c -= Money::new(1.0);
+        assert_eq!(c, Money::new(13.0));
+    }
+
+    #[test]
+    fn sum_iterators() {
+        let v = [Money::new(1.0), Money::new(2.0), Money::new(3.5)];
+        let by_val: Money = v.iter().copied().sum();
+        let by_ref: Money = v.iter().sum();
+        assert_eq!(by_val, Money::new(6.5));
+        assert_eq!(by_ref, Money::new(6.5));
+    }
+
+    #[test]
+    fn tolerance_comparisons() {
+        assert!(Money::new(1.0).approx_eq(Money::new(1.0 + 5e-5)));
+        assert!(!Money::new(1.0).approx_eq(Money::new(1.001)));
+        assert!(Money::new(0.01).is_strictly_positive());
+        assert!(!Money::new(5e-5).is_strictly_positive());
+        assert!(Money::new(-0.01).is_strictly_negative());
+        assert!(!Money::new(-5e-5).is_strictly_negative());
+    }
+
+    #[test]
+    fn min_max_and_finite() {
+        assert_eq!(Money::new(2.0).max(Money::new(3.0)), Money::new(3.0));
+        assert_eq!(Money::new(2.0).min(Money::new(3.0)), Money::new(2.0));
+        assert!(Money::new(1.0).is_finite());
+        assert!(!Money::new(f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn display_two_decimals() {
+        assert_eq!(Money::new(5.6789).to_string(), "5.68");
+        assert_eq!(Money::new(-2.0).to_string(), "-2.00");
+    }
+}

@@ -1,0 +1,328 @@
+//! Simulation time: absolute timestamps and signed durations.
+//!
+//! The framework uses integer seconds since the start of the simulated day
+//! (or trace epoch). Integer time keeps event ordering total and hashable,
+//! which the online simulator's event queue relies on.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An absolute point in simulated time, in whole seconds since the epoch.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_types::{Timestamp, TimeDelta};
+/// let t = Timestamp::from_secs(100);
+/// assert_eq!(t + TimeDelta::from_secs(20), Timestamp::from_secs(120));
+/// assert_eq!(Timestamp::from_secs(120) - t, TimeDelta::from_secs(20));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The epoch (time zero).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from whole seconds since the epoch.
+    #[must_use]
+    pub const fn from_secs(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a timestamp from whole minutes since the epoch.
+    #[must_use]
+    pub const fn from_mins(mins: i64) -> Self {
+        Self(mins * 60)
+    }
+
+    /// Creates a timestamp from whole hours since the epoch.
+    #[must_use]
+    pub const fn from_hours(hours: i64) -> Self {
+        Self(hours * 3600)
+    }
+
+    /// Returns the number of seconds since the epoch.
+    #[must_use]
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the time as fractional hours since the epoch.
+    #[must_use]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Returns the later of two timestamps.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating addition of a delta; never wraps.
+    #[must_use]
+    pub fn saturating_add(self, delta: TimeDelta) -> Self {
+        Self(self.0.saturating_add(delta.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0;
+        let sign = if total < 0 { "-" } else { "" };
+        let abs = total.unsigned_abs();
+        let (h, rem) = (abs / 3600, abs % 3600);
+        let (m, s) = (rem / 60, rem % 60);
+        write!(f, "{sign}{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl Add<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Timestamp {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: TimeDelta) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign<TimeDelta> for Timestamp {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = TimeDelta;
+    fn sub(self, rhs: Timestamp) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+/// A signed span of simulated time, in whole seconds.
+///
+/// Durations may be negative (e.g. slack computations such as
+/// `t̄⁺ₘ − t⁻ₙ` in the feasibility predicates of the paper's Eqs. 1–3 can go
+/// negative, which simply means "infeasible").
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_types::TimeDelta;
+/// let slack = TimeDelta::from_mins(5) - TimeDelta::from_secs(400);
+/// assert!(slack.is_negative());
+/// assert_eq!(slack.as_secs(), -100);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TimeDelta(i64);
+
+impl TimeDelta {
+    /// The zero duration.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    /// Creates a duration from whole minutes.
+    #[must_use]
+    pub const fn from_mins(mins: i64) -> Self {
+        Self(mins * 60)
+    }
+
+    /// Creates a duration from whole hours.
+    #[must_use]
+    pub const fn from_hours(hours: i64) -> Self {
+        Self(hours * 3600)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// whole second (ties away from zero).
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Self(secs.round() as i64)
+    }
+
+    /// Returns the duration in whole seconds.
+    #[must_use]
+    pub const fn as_secs(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional minutes.
+    #[must_use]
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Returns the duration as fractional hours.
+    #[must_use]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Returns `true` if the duration is strictly negative.
+    #[must_use]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Returns `true` if the duration is zero or positive.
+    #[must_use]
+    pub const fn is_non_negative(self) -> bool {
+        self.0 >= 0
+    }
+
+    /// Returns the larger of two durations.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeDelta {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl core::ops::Neg for TimeDelta {
+    type Output = TimeDelta;
+    fn neg(self) -> TimeDelta {
+        TimeDelta(-self.0)
+    }
+}
+
+impl core::ops::Mul<i64> for TimeDelta {
+    type Output = TimeDelta;
+    fn mul(self, rhs: i64) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_mins(10);
+        assert_eq!(t.as_secs(), 600);
+        assert_eq!((t + TimeDelta::from_secs(30)).as_secs(), 630);
+        assert_eq!((t - TimeDelta::from_secs(30)).as_secs(), 570);
+        assert_eq!(Timestamp::from_hours(1).as_secs(), 3600);
+        assert_eq!(
+            Timestamp::from_secs(500) - Timestamp::from_secs(200),
+            TimeDelta::from_secs(300)
+        );
+    }
+
+    #[test]
+    fn timestamp_display_hms() {
+        assert_eq!(Timestamp::from_secs(3661).to_string(), "01:01:01");
+        assert_eq!(Timestamp::from_secs(-60).to_string(), "-00:01:00");
+    }
+
+    #[test]
+    fn delta_sign_and_conversions() {
+        let d = TimeDelta::from_secs(-30);
+        assert!(d.is_negative());
+        assert!(!d.is_non_negative());
+        assert_eq!((-d).as_secs(), 30);
+        assert_eq!(TimeDelta::from_hours(2).as_hours_f64(), 2.0);
+        assert_eq!(TimeDelta::from_mins(3).as_mins_f64(), 3.0);
+        assert_eq!(TimeDelta::from_secs_f64(1.6).as_secs(), 2);
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        let a = Timestamp::from_secs(5);
+        let b = Timestamp::from_secs(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(
+            TimeDelta::from_secs(2).max(TimeDelta::from_secs(7)),
+            TimeDelta::from_secs(7)
+        );
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut t = Timestamp::EPOCH;
+        t += TimeDelta::from_secs(10);
+        t -= TimeDelta::from_secs(4);
+        assert_eq!(t.as_secs(), 6);
+        let mut d = TimeDelta::ZERO;
+        d += TimeDelta::from_secs(3);
+        d -= TimeDelta::from_secs(1);
+        assert_eq!(d.as_secs(), 2);
+        assert_eq!((d * 5).as_secs(), 10);
+    }
+
+    #[test]
+    fn saturating_add_never_wraps() {
+        let t = Timestamp::from_secs(i64::MAX - 1);
+        assert_eq!(
+            t.saturating_add(TimeDelta::from_secs(100)).as_secs(),
+            i64::MAX
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Dispatch strategies side by side: instant heuristics (Algs. 3–4), the
+//! batched extension, and the offline greedy — plus an hour-of-day view of
+//! where the market is tight.
+//!
+//! Run with: `cargo run --release --example dispatch_strategies`
+
+use rideshare::metrics::HourlyBreakdown;
+use rideshare::online::run_batched;
+use rideshare::prelude::*;
+
+fn main() {
+    let trace = TraceConfig::porto()
+        .with_seed(23)
+        .with_task_count(400)
+        .with_driver_count(50, DriverModel::Hitchhiking)
+        .generate();
+    let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+    let sim = Simulator::new(&market);
+
+    let mut rows = Vec::new();
+    let mut hourly: Option<HourlyBreakdown> = None;
+
+    // Instant policies.
+    for (label, result) in [
+        (
+            "Nearest (Alg. 3)",
+            sim.run(&mut NearestDriver::new(), SimulationOptions::default()),
+        ),
+        (
+            "maxMargin (Alg. 4)",
+            sim.run(&mut MaxMargin::new(), SimulationOptions::default()),
+        ),
+        ("batched 2 min", run_batched(&market, TimeDelta::from_mins(2))),
+        ("batched 10 min", run_batched(&market, TimeDelta::from_mins(10))),
+    ] {
+        validate_online(&market, &result.assignment).expect("feasible");
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", result.total_profit(&market).as_f64()),
+            format!("{:.1}%", result.service_rate() * 100.0),
+        ]);
+        if label.starts_with("maxMargin") {
+            hourly = Some(HourlyBreakdown::of(&market, &result));
+        }
+    }
+
+    // Offline reference.
+    let offline = solve_greedy(&market, Objective::Profit);
+    rows.push(vec![
+        "Greedy offline (Alg. 1)".into(),
+        format!(
+            "{:.2}",
+            offline
+                .assignment
+                .objective_value(&market, Objective::Profit)
+                .as_f64()
+        ),
+        format!(
+            "{:.1}%",
+            offline.assignment.served_count() as f64 / market.num_tasks() as f64 * 100.0
+        ),
+    ]);
+
+    println!(
+        "{}",
+        render_table(&["strategy", "driver profit", "served"], &rows)
+    );
+
+    // Where is the market tight? (maxMargin run.)
+    let hb = hourly.expect("maxMargin ran");
+    println!("peak demand hour: {:02}:00", hb.peak_demand_hour());
+    if let Some(tight) = hb.tightest_hour() {
+        let b = hb.hour(tight);
+        println!(
+            "tightest hour:    {tight:02}:00 — {}/{} served ({:.0}%)",
+            b.served,
+            b.published,
+            b.service_rate() * 100.0
+        );
+    }
+    println!(
+        "\nBatching trades a bounded dispatch delay for better matches. In a\n\
+         dense market the batch matcher approaches the offline greedy; in a\n\
+         sparse one (short candidate lists) the delay can cost more than the\n\
+         smarter matching earns — the trade-off behind the paper's §VII call\n\
+         for non-heuristic online algorithms."
+    );
+}

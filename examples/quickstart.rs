@@ -1,0 +1,65 @@
+//! Quickstart: generate a market, solve it offline and online, compare.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rideshare::prelude::*;
+
+fn main() {
+    // 1. Synthesise one day of the Porto market: 300 customer orders and
+    //    40 hitchhiking drivers (commuters willing to take detours).
+    let trace = TraceConfig::porto()
+        .with_seed(7)
+        .with_task_count(300)
+        .with_driver_count(40, DriverModel::Hitchhiking)
+        .generate();
+    println!(
+        "trace: {} trips, {} drivers, {:.0} km of demand",
+        trace.trips.len(),
+        trace.drivers.len(),
+        trace.total_trip_km()
+    );
+
+    // 2. Build the market: surge prices (Eq. 15), valuations, task map.
+    let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+    println!(
+        "market: {} chain arcs in the shared task map, diameter D = {}",
+        market.chain_arc_count(),
+        market.chain_diameter()
+    );
+
+    // 3. Offline: the greedy GA (Alg. 1) with its 1/(D+1) guarantee.
+    let offline = solve_greedy(&market, Objective::Profit);
+    offline.assignment.validate(&market).expect("GA is feasible");
+    let offline_profit = offline
+        .assignment
+        .objective_value(&market, Objective::Profit);
+
+    // 4. Online: replay the order stream through both heuristics.
+    let sim = Simulator::new(&market);
+    let mm = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+    let nearest = sim.run(&mut NearestDriver::new(), SimulationOptions::default());
+    validate_online(&market, &mm.assignment).expect("online dispatch is feasible");
+
+    // 5. The paper's yardstick: the LP-relaxation upper bound Z_f*.
+    let bound = lp_upper_bound(&market, Objective::Profit, UpperBoundOptions::default())
+        .expect("column generation converges");
+
+    println!("\n{:<12} {:>10} {:>8} {:>8}", "algorithm", "profit", "ratio", "served");
+    for (name, profit, served) in [
+        ("Greedy", offline_profit, offline.assignment.served_count()),
+        ("maxMargin", mm.total_profit(&market), mm.served),
+        ("Nearest", nearest.total_profit(&market), nearest.served),
+    ] {
+        println!(
+            "{:<12} {:>10.2} {:>8.3} {:>8}",
+            name,
+            profit.as_f64(),
+            performance_ratio(profit, bound.bound),
+            served
+        );
+    }
+    println!(
+        "\nZ_f* = {:.2} ({} column-generation rounds, {} columns)",
+        bound.bound, bound.rounds, bound.columns
+    );
+}

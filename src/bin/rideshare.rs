@@ -1,0 +1,201 @@
+//! `rideshare` — command-line interface to the framework.
+//!
+//! Subcommands:
+//!
+//! - `generate` — synthesise a day of the Porto market and write
+//!   `trips.csv` / `drivers.csv`,
+//! - `summary` — structural statistics of a market loaded from CSVs,
+//! - `solve` — run the offline greedy (Alg. 1) on CSVs and print routes,
+//! - `simulate` — replay the order stream online (Alg. 3 or 4),
+//! - `bound` — compute the LP upper bound `Z_f*`.
+//!
+//! Examples:
+//!
+//! ```sh
+//! rideshare generate --tasks 300 --drivers 40 --seed 7 --out /tmp/day
+//! rideshare summary  --dir /tmp/day
+//! rideshare solve    --dir /tmp/day
+//! rideshare simulate --dir /tmp/day --policy nearest
+//! rideshare bound    --dir /tmp/day
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rideshare::prelude::*;
+use rideshare::trace::{drivers_from_csv, drivers_to_csv, trips_from_csv, trips_to_csv};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => generate(&args[1..]),
+        "summary" => with_market(&args[1..], |market| {
+            println!("{}", rideshare::core::MarketSummary::of(&market));
+            Ok(())
+        }),
+        "solve" => with_market(&args[1..], solve),
+        "simulate" => with_market(&args[1..], |market| simulate(&args[1..], market)),
+        "bound" => with_market(&args[1..], bound),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+rideshare — optimization framework for online ride-sharing markets
+
+USAGE:
+  rideshare generate [--tasks N] [--drivers N] [--seed S]
+                     [--model hitch|hwh] [--delivery] --out DIR
+  rideshare summary  --dir DIR
+  rideshare solve    --dir DIR            (offline greedy, Alg. 1)
+  rideshare simulate --dir DIR [--policy margin|nearest]   (Algs. 3-4)
+  rideshare bound    --dir DIR            (LP upper bound Z_f*)
+
+DIR holds trips.csv and drivers.csv as written by `generate`.";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value '{v}' for {name}")),
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let tasks: usize = parse_flag(args, "--tasks", 300)?;
+    let drivers: usize = parse_flag(args, "--drivers", 40)?;
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let out = PathBuf::from(
+        flag_value(args, "--out").ok_or_else(|| format!("--out DIR required\n{USAGE}"))?,
+    );
+    let model = match flag_value(args, "--model") {
+        Some("hwh") => DriverModel::HomeWorkHome,
+        _ => DriverModel::Hitchhiking,
+    };
+    let base = if args.iter().any(|a| a == "--delivery") {
+        TraceConfig::porto_delivery()
+    } else {
+        TraceConfig::porto()
+    };
+    let trace = base
+        .with_seed(seed)
+        .with_task_count(tasks)
+        .with_driver_count(drivers, model)
+        .generate();
+    std::fs::create_dir_all(&out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let write = |name: &str, data: String| -> Result<(), String> {
+        let path = out.join(name);
+        std::fs::write(&path, data).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    write("trips.csv", trips_to_csv(&trace.trips))?;
+    write("drivers.csv", drivers_to_csv(&trace.drivers))?;
+    println!(
+        "wrote {} trips and {} drivers to {}",
+        trace.trips.len(),
+        trace.drivers.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn load_market(dir: &Path) -> Result<Market, String> {
+    let read = |name: &str| -> Result<String, String> {
+        let path = dir.join(name);
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))
+    };
+    let trips = trips_from_csv(&read("trips.csv")?)?;
+    let drivers = drivers_from_csv(&read("drivers.csv")?)?;
+    let trace = rideshare::trace::Trace {
+        trips,
+        drivers,
+        speed: SpeedModel::urban(),
+        bbox: rideshare::geo::porto::bounding_box(),
+    };
+    Ok(Market::from_trace(&trace, &MarketBuildOptions::default()))
+}
+
+fn with_market(
+    args: &[String],
+    f: impl FnOnce(Market) -> Result<(), String>,
+) -> Result<(), String> {
+    let dir = flag_value(args, "--dir").ok_or_else(|| format!("--dir DIR required\n{USAGE}"))?;
+    f(load_market(Path::new(dir))?)
+}
+
+fn solve(market: Market) -> Result<(), String> {
+    let out = solve_greedy(&market, Objective::Profit);
+    out.assignment
+        .validate(&market)
+        .map_err(|e| e.to_string())?;
+    let profit = out.assignment.objective_value(&market, Objective::Profit);
+    println!(
+        "greedy: {} tasks served by {} drivers, profit {profit}",
+        out.assignment.served_count(),
+        out.assignment.active_driver_count(),
+    );
+    for (n, route) in out.assignment.routes().iter().enumerate() {
+        if route.tasks.is_empty() {
+            continue;
+        }
+        let ids: Vec<String> = route.tasks.iter().map(|t| t.index().to_string()).collect();
+        println!("  driver#{n}: tasks [{}]", ids.join(", "));
+    }
+    Ok(())
+}
+
+fn simulate(args: &[String], market: Market) -> Result<(), String> {
+    let sim = Simulator::new(&market);
+    let result = match flag_value(args, "--policy") {
+        Some("nearest") => sim.run(&mut NearestDriver::new(), SimulationOptions::default()),
+        Some("margin") | None => sim.run(&mut MaxMargin::new(), SimulationOptions::default()),
+        Some(other) => return Err(format!("unknown policy '{other}' (margin|nearest)")),
+    };
+    validate_online(&market, &result.assignment).map_err(|e| e.to_string())?;
+    println!(
+        "online: served {}/{} ({:.1}%), profit {}",
+        result.served,
+        market.num_tasks(),
+        result.service_rate() * 100.0,
+        result.total_profit(&market),
+    );
+    if let (Some(wait), Some(cands)) = (result.mean_wait_mins(), result.mean_candidates()) {
+        println!(
+            "        mean wait {wait:.1} min, deadhead {:.1} km, {cands:.1} candidates/dispatch",
+            result.total_deadhead_km(),
+        );
+    }
+    Ok(())
+}
+
+fn bound(market: Market) -> Result<(), String> {
+    let ub = lp_upper_bound(&market, Objective::Profit, UpperBoundOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "Z_f* = {:.2} ({} rounds, {} columns, converged: {})",
+        ub.bound, ub.rounds, ub.columns, ub.converged
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! **rideshare** — an optimization framework for online ride-sharing
+//! markets.
+//!
+//! A production-quality Rust reproduction of *"An Optimization Framework
+//! for Online Ride-sharing Markets"* (Jia, Xu & Liu — ICDCS 2017,
+//! arXiv:1612.03797). The facade re-exports every subsystem crate of the
+//! workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `rideshare-types` | ids, time, money newtypes |
+//! | [`geo`] | `rideshare-geo` | coordinates, distances, speed model, grid index, Porto city model |
+//! | [`trace`] | `rideshare-trace` | Porto-calibrated synthetic trace generation + statistics |
+//! | [`pricing`] | `rideshare-pricing` | surge multipliers (SM), Eq. 15 fares, WTP |
+//! | [`graph`] | `rideshare-graph` | weighted DAGs and longest-path DP |
+//! | [`lp`] | `rideshare-lp` | simplex, packing LP (column generation), branch & bound |
+//! | [`core`] | `rideshare-core` | the market model, task maps, GA, `Z_f*`, exact ILP, Fig. 2 |
+//! | [`online`] | `rideshare-online` | the online simulator, Nearest & maxMargin dispatch |
+//! | [`metrics`] | `rideshare-metrics` | evaluation metrics and table rendering |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rideshare::prelude::*;
+//!
+//! // One synthetic day of the Porto market: 200 orders, 25 commuters.
+//! let trace = TraceConfig::porto()
+//!     .with_seed(42)
+//!     .with_task_count(200)
+//!     .with_driver_count(25, DriverModel::Hitchhiking)
+//!     .generate();
+//! let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+//!
+//! // Offline: the 1/(D+1)-approximate greedy (Alg. 1).
+//! let offline = solve_greedy(&market, Objective::Profit);
+//!
+//! // Online: replay the order stream through maxMargin (Alg. 4).
+//! let sim = Simulator::new(&market);
+//! let online = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+//!
+//! // Offline information advantage: greedy should not lose to the
+//! // online heuristic by much on any seed, and both must be feasible.
+//! offline.assignment.validate(&market).unwrap();
+//! validate_online(&market, &online.assignment).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rideshare_core as core;
+pub use rideshare_geo as geo;
+pub use rideshare_graph as graph;
+pub use rideshare_lp as lp;
+pub use rideshare_metrics as metrics;
+pub use rideshare_online as online;
+pub use rideshare_pricing as pricing;
+pub use rideshare_trace as trace;
+pub use rideshare_types as types;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use rideshare_core::{
+        lp_upper_bound, performance_ratio, solve_exact, solve_greedy, Assignment, Driver,
+        DriverRoute, DriverView, ExactOptions, Market, MarketBuildOptions, Objective, Task,
+        UpperBoundOptions,
+    };
+    pub use rideshare_geo::{BoundingBox, GeoPoint, SpeedModel};
+    pub use rideshare_metrics::{render_series, render_table, MarketMetrics, Series};
+    pub use rideshare_online::{
+        validate_online, DispatchPolicy, MaxMargin, NearestDriver, RandomDispatch,
+        SimulationOptions, Simulator,
+    };
+    pub use rideshare_pricing::{FareModel, SurgeConfig, SurgeEngine, WtpModel};
+    pub use rideshare_trace::{DriverModel, DriverShift, Trace, TraceConfig, TripRecord};
+    pub use rideshare_types::{DriverId, Money, TaskId, TimeDelta, Timestamp};
+}

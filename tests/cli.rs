@@ -1,0 +1,108 @@
+//! End-to-end tests of the `rideshare` CLI binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rideshare"))
+        .args(args)
+        .output()
+        .expect("spawn rideshare binary")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rideshare-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn generate_summary_solve_simulate_bound_pipeline() {
+    let dir = tmpdir("pipeline");
+    let dir_s = dir.to_str().unwrap();
+
+    let gen = cli(&[
+        "generate", "--tasks", "50", "--drivers", "6", "--seed", "11", "--out", dir_s,
+    ]);
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(dir.join("trips.csv").exists());
+    assert!(dir.join("drivers.csv").exists());
+
+    let summary = cli(&["summary", "--dir", dir_s]);
+    assert!(summary.status.success());
+    let text = String::from_utf8_lossy(&summary.stdout);
+    assert!(text.contains("6 drivers × 50 tasks"), "{text}");
+    assert!(text.contains("GA guarantee"));
+
+    let solve = cli(&["solve", "--dir", dir_s]);
+    assert!(solve.status.success());
+    assert!(String::from_utf8_lossy(&solve.stdout).contains("greedy:"));
+
+    for policy in ["margin", "nearest"] {
+        let sim = cli(&["simulate", "--dir", dir_s, "--policy", policy]);
+        assert!(sim.status.success());
+        assert!(String::from_utf8_lossy(&sim.stdout).contains("online: served"));
+    }
+
+    let bound = cli(&["bound", "--dir", dir_s]);
+    assert!(bound.status.success());
+    assert!(String::from_utf8_lossy(&bound.stdout).contains("Z_f* ="));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generate_is_deterministic_in_seed() {
+    let a = tmpdir("det-a");
+    let b = tmpdir("det-b");
+    for dir in [&a, &b] {
+        let out = cli(&[
+            "generate", "--tasks", "20", "--drivers", "3", "--seed", "99", "--out",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success());
+    }
+    let ta = std::fs::read_to_string(a.join("trips.csv")).unwrap();
+    let tb = std::fs::read_to_string(b.join("trips.csv")).unwrap();
+    assert_eq!(ta, tb);
+    let _ = std::fs::remove_dir_all(&a);
+    let _ = std::fs::remove_dir_all(&b);
+}
+
+#[test]
+fn delivery_flag_changes_structure() {
+    let rides = tmpdir("rides");
+    let deliv = tmpdir("deliv");
+    for (dir, extra) in [(&rides, None), (&deliv, Some("--delivery"))] {
+        let mut args = vec![
+            "generate", "--tasks", "30", "--drivers", "3", "--seed", "5", "--out",
+            dir.to_str().unwrap(),
+        ];
+        if let Some(f) = extra {
+            args.push(f);
+        }
+        assert!(cli(&args).status.success());
+    }
+    let a = std::fs::read_to_string(rides.join("trips.csv")).unwrap();
+    let b = std::fs::read_to_string(deliv.join("trips.csv")).unwrap();
+    assert_ne!(a, b, "delivery preset must produce a different workload");
+    let _ = std::fs::remove_dir_all(&rides);
+    let _ = std::fs::remove_dir_all(&deliv);
+}
+
+#[test]
+fn bad_input_reports_errors() {
+    let nothing = cli(&["solve", "--dir", "/nonexistent-rideshare-dir"]);
+    assert!(!nothing.status.success());
+    assert!(String::from_utf8_lossy(&nothing.stderr).contains("error:"));
+
+    let unknown = cli(&["frobnicate"]);
+    assert!(!unknown.status.success());
+
+    let no_args = cli(&[]);
+    assert!(!no_args.status.success());
+
+    let help = cli(&["help"]);
+    assert!(help.status.success());
+    assert!(String::from_utf8_lossy(&help.stdout).contains("USAGE"));
+}
