@@ -15,16 +15,12 @@ fn bench_grid_vs_linear(c: &mut Criterion) {
     for &drivers in &[50usize, 200] {
         let market = build_market(3, 400, drivers, DriverModel::Hitchhiking);
         let sim = Simulator::new(&market);
-        group.bench_with_input(
-            BenchmarkId::new("linear", drivers),
-            &sim,
-            |b, sim| {
-                b.iter(|| {
-                    let mut p = MaxMargin::new();
-                    black_box(sim.run(&mut p, SimulationOptions::default()))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("linear", drivers), &sim, |b, sim| {
+            b.iter(|| {
+                let mut p = MaxMargin::new();
+                black_box(sim.run(&mut p, SimulationOptions::default()))
+            });
+        });
         group.bench_with_input(BenchmarkId::new("grid", drivers), &sim, |b, sim| {
             b.iter(|| {
                 let mut p = MaxMargin::new();

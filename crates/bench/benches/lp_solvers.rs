@@ -56,7 +56,11 @@ fn bench_packing_warm_start(c: &mut Criterion) {
                 for k in 0..10 {
                     let a = next() % rows;
                     let b2 = next() % rows;
-                    let mut support = if a == b2 { vec![a] } else { vec![a.min(b2), a.max(b2)] };
+                    let mut support = if a == b2 {
+                        vec![a]
+                    } else {
+                        vec![a.min(b2), a.max(b2)]
+                    };
                     support.dedup();
                     lp.add_column(1.0 + ((batch * 10 + k) % 7) as f64, &support);
                 }

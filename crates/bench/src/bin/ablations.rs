@@ -12,13 +12,11 @@
 //! Usage: `cargo run --release --bin ablations [--quick]`
 
 use rideshare_core::{
-    lp_upper_bound, solve_exact, solve_greedy, ExactOptions, Market, MarketBuildOptions,
-    Objective, UpperBoundOptions,
+    lp_upper_bound, solve_exact, solve_greedy, ExactOptions, Market, MarketBuildOptions, Objective,
+    UpperBoundOptions,
 };
 use rideshare_metrics::render_table;
-use rideshare_online::{
-    MaxMargin, NearestDriver, RandomDispatch, SimulationOptions, Simulator,
-};
+use rideshare_online::{MaxMargin, NearestDriver, RandomDispatch, SimulationOptions, Simulator};
 use rideshare_pricing::SurgeConfig;
 use rideshare_trace::{DriverModel, TraceConfig};
 use rideshare_types::TimeDelta;
@@ -147,7 +145,9 @@ fn partitioning_loss(tasks: usize, drivers: usize) {
     ]];
     for k in [2u16, 4, 8] {
         let merged = rideshare_core::partition::solve_partitioned(&market, k, Objective::Profit);
-        merged.validate(&market).expect("merged assignment feasible");
+        merged
+            .validate(&market)
+            .expect("merged assignment feasible");
         let p = merged.objective_value(&market, Objective::Profit).as_f64();
         rows.push(vec![
             format!("{k}x{k} cells"),
@@ -169,8 +169,14 @@ fn objective_comparison(tasks: usize, drivers: usize) {
         let a = solve_greedy(&market, objective).assignment;
         rows.push(vec![
             format!("{objective:?}-greedy"),
-            format!("{:.2}", a.objective_value(&market, Objective::Profit).as_f64()),
-            format!("{:.2}", a.objective_value(&market, Objective::Welfare).as_f64()),
+            format!(
+                "{:.2}",
+                a.objective_value(&market, Objective::Profit).as_f64()
+            ),
+            format!(
+                "{:.2}",
+                a.objective_value(&market, Objective::Welfare).as_f64()
+            ),
             a.served_count().to_string(),
         ]);
     }

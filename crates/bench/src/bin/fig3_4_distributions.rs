@@ -32,7 +32,11 @@ fn main() {
         .collect();
     let dists_km: Vec<f64> = trace.trips.iter().map(|t| t.distance_km).collect();
 
-    print_figure("Fig. 3 — travel time distribution (minutes)", &times_min, 1.0);
+    print_figure(
+        "Fig. 3 — travel time distribution (minutes)",
+        &times_min,
+        1.0,
+    );
     println!();
     print_figure("Fig. 4 — travel distance distribution (km)", &dists_km, 1.0);
 }

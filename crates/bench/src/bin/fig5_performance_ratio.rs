@@ -88,9 +88,15 @@ fn main() {
                     _ => {}
                 }
             }
-            eprintln!("  [{}] drivers={drivers} done (Z_f* = {bound:.1})", model.label());
+            eprintln!(
+                "  [{}] drivers={drivers} done (Z_f* = {bound:.1})",
+                model.label()
+            );
         }
-        println!("{}", render_series("drivers", &[greedy, max_margin, nearest]));
+        println!(
+            "{}",
+            render_series("drivers", &[greedy, max_margin, nearest])
+        );
     }
     println!("expected shape: Greedy ≥ maxMargin ≥ Nearest; hitchhiking ≥ home-work-home.");
 }

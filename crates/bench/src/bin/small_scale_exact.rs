@@ -59,7 +59,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["seed/size", "Z*", "Z_f*", "Greedy", "maxMargin", "Nearest", "D"],
+            &[
+                "seed/size",
+                "Z*",
+                "Z_f*",
+                "Greedy",
+                "maxMargin",
+                "Nearest",
+                "D"
+            ],
             &rows
         )
     );

@@ -6,17 +6,27 @@
 //! construction, [`run_all_algorithms`] runs the paper's three algorithms
 //! plus the random baseline on one market, and [`AlgorithmRun`] carries the
 //! per-algorithm outcomes.
+//!
+//! ```
+//! use rideshare_bench::{build_market, run_all_algorithms};
+//! use rideshare_trace::DriverModel;
+//!
+//! // A miniature sweep point: 40 tasks, 5 drivers.
+//! let market = build_market(7, 40, 5, DriverModel::Hitchhiking);
+//! let runs = run_all_algorithms(&market);
+//! let names: Vec<&str> = runs.iter().map(|r| r.name).collect();
+//! assert_eq!(names, ["Greedy", "maxMargin", "Nearest", "Random"]);
+//! // The offline greedy sees the whole day; no online policy beats it.
+//! assert!(runs[1..].iter().all(|r| r.profit <= runs[0].profit + 1e-9));
+//! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 use rideshare_core::{
     lp_upper_bound, solve_greedy, Market, MarketBuildOptions, Objective, UpperBoundOptions,
 };
 use rideshare_metrics::MarketMetrics;
-use rideshare_online::{
-    MaxMargin, NearestDriver, RandomDispatch, SimulationOptions, Simulator,
-};
+use rideshare_online::{MaxMargin, NearestDriver, RandomDispatch, SimulationOptions, Simulator};
 use rideshare_trace::{DriverModel, TraceConfig};
 
 /// The driver counts swept by Figs. 5–9 ("gradually increasing the number
@@ -72,14 +82,20 @@ pub fn run_all_algorithms(market: &Market) -> Vec<AlgorithmRun> {
         metrics: MarketMetrics::of(market, &mm.assignment),
     });
 
-    let nearest = sim.run(&mut NearestDriver::with_seed(0), SimulationOptions::default());
+    let nearest = sim.run(
+        &mut NearestDriver::with_seed(0),
+        SimulationOptions::default(),
+    );
     out.push(AlgorithmRun {
         name: "Nearest",
         profit: nearest.total_profit(market).as_f64(),
         metrics: MarketMetrics::of(market, &nearest.assignment),
     });
 
-    let random = sim.run(&mut RandomDispatch::with_seed(0), SimulationOptions::default());
+    let random = sim.run(
+        &mut RandomDispatch::with_seed(0),
+        SimulationOptions::default(),
+    );
     out.push(AlgorithmRun {
         name: "Random",
         profit: random.total_profit(market).as_f64(),

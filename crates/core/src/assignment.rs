@@ -78,11 +78,10 @@ impl Assignment {
     /// Which driver serves `task`, if any.
     #[must_use]
     pub fn server_of(&self, task: TaskId) -> Option<DriverId> {
-        self.routes.iter().enumerate().find_map(|(n, r)| {
-            r.tasks
-                .contains(&task)
-                .then(|| DriverId::new(n as u32))
-        })
+        self.routes
+            .iter()
+            .enumerate()
+            .find_map(|(n, r)| r.tasks.contains(&task).then(|| DriverId::new(n as u32)))
     }
 
     /// Total objective value: Eq. 4 (`Objective::Profit`) or Eq. 6

@@ -198,9 +198,7 @@ pub fn solve_exact(
             let mut coeffs: Vec<(usize, f64)> = allowed[d]
                 .iter()
                 .enumerate()
-                .map(|(k, &t)| {
-                    (x_var[d][k], market.tasks()[t].margin(objective).as_f64())
-                })
+                .map(|(k, &t)| (x_var[d][k], market.tasks()[t].margin(objective).as_f64()))
                 .collect();
             coeffs.extend(arcs[d].iter().map(|(_, _, v, c)| (*v, -*c)));
             lp.add_constraint(coeffs, Cmp::Ge, -market.direct_cost(d).as_f64());

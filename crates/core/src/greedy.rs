@@ -178,8 +178,7 @@ pub(crate) fn solve_greedy_naive(market: &Market, objective: Objective) -> Assig
             let better = match &best {
                 None => true,
                 Some((bp, bi, _)) => {
-                    path.profit > *bp + 1e-12
-                        || ((path.profit - *bp).abs() <= 1e-12 && i < *bi)
+                    path.profit > *bp + 1e-12 || ((path.profit - *bp).abs() <= 1e-12 && i < *bi)
                 }
             };
             if better {
@@ -240,10 +239,7 @@ mod tests {
             let naive = solve_greedy_naive(&m, Objective::Profit);
             let lp = lazy.assignment.objective_value(&m, Objective::Profit);
             let np = naive.objective_value(&m, Objective::Profit);
-            assert!(
-                lp.approx_eq(np),
-                "seed {seed}: lazy {lp} vs naive {np}"
-            );
+            assert!(lp.approx_eq(np), "seed {seed}: lazy {lp} vs naive {np}");
         }
     }
 

@@ -44,8 +44,7 @@
 //! assert!(profit.as_f64() >= 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod assignment;
 mod exact;

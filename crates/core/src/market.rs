@@ -344,18 +344,19 @@ fn static_multipliers(trace: &Trace, opts: &MarketBuildOptions) -> Vec<f64> {
 /// the number of drivers whose shift covers that instant and whose source
 /// lies in the cell (position-at-publish is unknowable offline; the home
 /// cell is the standard approximation).
-fn dynamic_multipliers(
-    trace: &Trace,
-    opts: &MarketBuildOptions,
-    window: TimeDelta,
-) -> Vec<f64> {
-    assert!(window.is_non_negative(), "surge window must be non-negative");
+fn dynamic_multipliers(trace: &Trace, opts: &MarketBuildOptions, window: TimeDelta) -> Vec<f64> {
+    assert!(
+        window.is_non_negative(),
+        "surge window must be non-negative"
+    );
     let (rows, cols) = opts.surge_grid;
     let grid: GridIndex<u32> = GridIndex::new(trace.bbox, rows, cols);
 
     // Per-cell FIFO of recent publish times (trips arrive publish-sorted).
-    let mut recent: std::collections::HashMap<rideshare_geo::CellId, std::collections::VecDeque<Timestamp>> =
-        std::collections::HashMap::new();
+    let mut recent: std::collections::HashMap<
+        rideshare_geo::CellId,
+        std::collections::VecDeque<Timestamp>,
+    > = std::collections::HashMap::new();
     // Per-cell driver shifts.
     let mut shifts: std::collections::HashMap<rideshare_geo::CellId, Vec<(Timestamp, Timestamp)>> =
         std::collections::HashMap::new();
@@ -379,13 +380,11 @@ fn dynamic_multipliers(
         }
         q.push_back(t.publish_time);
         let demand = q.len() as u32;
-        let supply = shifts
-            .get(&cell)
-            .map_or(0, |v| {
-                v.iter()
-                    .filter(|(s, e)| *s <= t.publish_time && t.publish_time <= *e)
-                    .count()
-            }) as u32;
+        let supply = shifts.get(&cell).map_or(0, |v| {
+            v.iter()
+                .filter(|(s, e)| *s <= t.publish_time && t.publish_time <= *e)
+                .count()
+        }) as u32;
         out.push(opts.surge.multiplier_for(demand, supply));
     }
     out
@@ -410,9 +409,8 @@ fn build_chain_arcs(
         }
         // Candidate successors must have pickup deadline after `from`'s
         // completion deadline; scan the pickup-sorted order from that point.
-        let start = order.partition_point(|&j| {
-            tasks[j as usize].pickup_deadline < from.completion_deadline
-        });
+        let start = order
+            .partition_point(|&j| tasks[j as usize].pickup_deadline < from.completion_deadline);
         for &j in &order[start..] {
             let to = &tasks[j as usize];
             if !to.window_feasible() {

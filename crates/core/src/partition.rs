@@ -64,12 +64,8 @@ pub fn partition_market(market: &Market, k: u16) -> Vec<SubMarket> {
         lon_lo = lon_lo.min(p.lon());
         lon_hi = lon_hi.max(p.lon());
     }
-    let bbox = rideshare_geo::BoundingBox::new(
-        lat_lo - 1e-6,
-        lat_hi + 1e-6,
-        lon_lo - 1e-6,
-        lon_hi + 1e-6,
-    );
+    let bbox =
+        rideshare_geo::BoundingBox::new(lat_lo - 1e-6, lat_hi + 1e-6, lon_lo - 1e-6, lon_hi + 1e-6);
     let grid: GridIndex<u32> = GridIndex::new(bbox, k, k);
 
     let cells = k as usize * k as usize;

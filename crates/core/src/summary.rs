@@ -83,11 +83,7 @@ impl MarketSummary {
                 feasible_total as f64 / (n * m) as f64
             },
             mean_margin,
-            total_price_volume: market
-                .tasks()
-                .iter()
-                .map(|t| t.price.as_f64())
-                .sum(),
+            total_price_volume: market.tasks().iter().map(|t| t.price.as_f64()).sum(),
             greedy_guarantee: 1.0 / (diameter as f64 + 1.0),
         }
     }

@@ -80,7 +80,10 @@ impl TightnessInstance {
 #[must_use]
 pub fn fig2_instance(d: usize, epsilon: f64) -> TightnessInstance {
     assert!(d >= 1, "diameter must be at least 1");
-    assert!((0.0..1.0).contains(&epsilon) && epsilon > 0.0, "epsilon in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&epsilon) && epsilon > 0.0,
+        "epsilon in (0,1)"
+    );
 
     // 60 km/h, no detour, 1 cost unit per km → 1 km = 1 minute = 1 cost.
     let speed = SpeedModel::new(60.0, 1.0, 1.0);
@@ -172,10 +175,7 @@ mod tests {
                 .assignment
                 .objective_value(&inst.market, Objective::Profit)
                 .as_f64();
-            assert!(
-                (profit - 1.0).abs() < 1e-3,
-                "D={d}: greedy profit {profit}"
-            );
+            assert!((profit - 1.0).abs() < 1e-3, "D={d}: greedy profit {profit}");
             // Driver 1 took the whole chain.
             assert_eq!(ga.assignment.routes()[0].tasks.len(), d);
         }

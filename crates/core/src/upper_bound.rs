@@ -154,13 +154,8 @@ pub fn lp_upper_bound(
         slack_bound = 0.0;
         for (i, view) in views.iter().enumerate() {
             let lambda = duals[i];
-            let priced = view.best_path_priced(
-                market,
-                objective,
-                &removed,
-                |t| duals[n + t],
-                lambda,
-            );
+            let priced =
+                view.best_path_priced(market, objective, &removed, |t| duals[n + t], lambda);
             // `priced.profit` is the reduced cost of the best column for
             // driver i (the empty path contributes −λᵢ ≤ 0, so a positive
             // value certifies an improving path).
@@ -338,7 +333,12 @@ mod tests {
         let m = market(15, 70, 9, DriverModel::Hitchhiking);
         let p = lp_upper_bound(&m, Objective::Profit, UpperBoundOptions::default()).unwrap();
         let w = lp_upper_bound(&m, Objective::Welfare, UpperBoundOptions::default()).unwrap();
-        assert!(w.bound + 1e-6 >= p.bound, "welfare {} < profit {}", w.bound, p.bound);
+        assert!(
+            w.bound + 1e-6 >= p.bound,
+            "welfare {} < profit {}",
+            w.bound,
+            p.bound
+        );
     }
 
     #[test]

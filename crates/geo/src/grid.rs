@@ -278,7 +278,9 @@ mod tests {
         // Deterministic pseudo-random scatter.
         let mut state = 42u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         for i in 0..200u32 {

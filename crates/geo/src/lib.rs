@@ -30,8 +30,7 @@
 //! assert!(eta.as_mins_f64() > 10.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod bbox;
 mod grid;

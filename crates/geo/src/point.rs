@@ -71,8 +71,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_KM * a.sqrt().min(1.0).asin()
     }
 
@@ -102,8 +101,7 @@ impl GeoPoint {
     #[must_use]
     pub fn offset_km(self, north_km: f64, east_km: f64) -> GeoPoint {
         let dlat = north_km / EARTH_RADIUS_KM * (180.0 / core::f64::consts::PI);
-        let dlon = east_km
-            / (EARTH_RADIUS_KM * self.lat.to_radians().cos())
+        let dlon = east_km / (EARTH_RADIUS_KM * self.lat.to_radians().cos())
             * (180.0 / core::f64::consts::PI);
         GeoPoint::new(self.lat + dlat, self.lon + dlon)
     }

@@ -69,10 +69,7 @@ impl Polyline {
     /// distances, in kilometres (the dataset's distance derivation).
     #[must_use]
     pub fn length_km(&self) -> f64 {
-        self.fixes
-            .windows(2)
-            .map(|w| w[0].haversine_km(w[1]))
-            .sum()
+        self.fixes.windows(2).map(|w| w[0].haversine_km(w[1])).sum()
     }
 
     /// Trip duration implied by the 15-second sampling:

@@ -75,7 +75,11 @@ mod tests {
     #[test]
     fn bounding_box_is_city_scale() {
         let bbox = bounding_box();
-        assert!((25.0..45.0).contains(&bbox.width_km()), "{}", bbox.width_km());
+        assert!(
+            (25.0..45.0).contains(&bbox.width_km()),
+            "{}",
+            bbox.width_km()
+        );
         assert!(
             (25.0..45.0).contains(&bbox.height_km()),
             "{}",

@@ -198,7 +198,10 @@ mod tests {
         let (mut g, s, t) = chain_dag(3);
         g.disable_node(3); // pre-disabled interior node
         let _ = greedy_disjoint_paths(&mut g, &[(s, t)]);
-        assert!(!g.is_enabled(3), "caller's disabled node must stay disabled");
+        assert!(
+            !g.is_enabled(3),
+            "caller's disabled node must stay disabled"
+        );
         assert!(g.is_enabled(2), "nodes eaten by paths must be re-enabled");
     }
 

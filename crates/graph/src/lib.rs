@@ -37,8 +37,7 @@
 //! assert_eq!(best.profit, 9.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod dag;
 mod disjoint;

@@ -271,9 +271,7 @@ mod tests {
             .map(|(i, &v)| (v, 11.0 + (i as f64)))
             .collect();
         lp.add_constraint(coeffs, Cmp::Le, 40.0);
-        let sol = BranchAndBound::new(lp, vars)
-            .with_node_limit(3)
-            .solve();
+        let sol = BranchAndBound::new(lp, vars).with_node_limit(3).solve();
         // With only 3 nodes we either found some incumbent (not proven) or
         // hit the limit with none.
         match sol {

@@ -35,8 +35,7 @@
 //! # let _ = Cmp::Le;
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod branch_bound;
 mod model;

@@ -119,12 +119,7 @@ impl LinearProgram {
     /// # Panics
     ///
     /// Panics if any referenced variable does not exist.
-    pub fn add_constraint(
-        &mut self,
-        coeffs: Vec<(VarId, f64)>,
-        cmp: Cmp,
-        rhs: f64,
-    ) -> usize {
+    pub fn add_constraint(&mut self, coeffs: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) -> usize {
         for &(v, _) in &coeffs {
             assert!(v < self.num_vars(), "constraint references unknown var {v}");
         }
@@ -214,9 +209,6 @@ mod tests {
         let mut lp = LinearProgram::maximize();
         let x = lp.add_var("x", f64::NAN);
         lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
-        assert!(matches!(
-            lp.solve(),
-            Err(MarketError::InvalidModel { .. })
-        ));
+        assert!(matches!(lp.solve(), Err(MarketError::InvalidModel { .. })));
     }
 }

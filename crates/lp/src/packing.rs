@@ -424,7 +424,7 @@ mod tests {
         assert_eq!(lp.num_columns(), 1);
         assert_close(lp.primal(a), 1.0);
         assert_close(lp.primal(b), 0.0); // purged → 0
-        // Still solvable and correct after purge.
+                                         // Still solvable and correct after purge.
         let c = lp.add_column(4.0, &[1]);
         assert_close(lp.optimize().unwrap(), 7.0);
         assert_close(lp.primal(c), 1.0);

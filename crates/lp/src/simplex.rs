@@ -239,8 +239,7 @@ impl Tableau {
                 let better = match best {
                     None => true,
                     Some((bi, br)) => {
-                        ratio < br - 1e-12
-                            || (ratio < br + 1e-12 && self.basis[i] < self.basis[bi])
+                        ratio < br - 1e-12 || (ratio < br + 1e-12 && self.basis[i] < self.basis[bi])
                     }
                 };
                 if better {
@@ -304,8 +303,7 @@ impl Tableau {
         let mut i = 0;
         while i < self.nrows() {
             if self.basis[i] >= self.first_artificial {
-                let enter = (0..self.first_artificial)
-                    .find(|&j| self.a[i][j].abs() > PIVOT_EPS);
+                let enter = (0..self.first_artificial).find(|&j| self.a[i][j].abs() > PIVOT_EPS);
                 match enter {
                     Some(j) => self.pivot(i, j),
                     None => {
@@ -482,16 +480,8 @@ mod tests {
         let y = lp.add_var("y", -57.0);
         let z = lp.add_var("z", 9.0);
         let w = lp.add_var("w", -24.0);
-        lp.add_constraint(
-            vec![(x, 0.5), (y, -5.5), (z, -2.5), (w, 9.0)],
-            Cmp::Le,
-            0.0,
-        );
-        lp.add_constraint(
-            vec![(x, 0.5), (y, -1.5), (z, -0.5), (w, 1.0)],
-            Cmp::Le,
-            0.0,
-        );
+        lp.add_constraint(vec![(x, 0.5), (y, -5.5), (z, -2.5), (w, 9.0)], Cmp::Le, 0.0);
+        lp.add_constraint(vec![(x, 0.5), (y, -1.5), (z, -0.5), (w, 1.0)], Cmp::Le, 0.0);
         lp.add_constraint(vec![(x, 1.0)], Cmp::Le, 1.0);
         lp.add_constraint(vec![(z, 1.0)], Cmp::Le, 1.0);
         let sol = lp.solve().unwrap();

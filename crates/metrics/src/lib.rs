@@ -31,8 +31,7 @@
 //! assert!(m.avg_tasks_per_worker >= 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod market_metrics;
 mod table;

@@ -39,7 +39,13 @@ impl MarketMetrics {
         } else {
             served as f64 / tasks as f64
         };
-        let per_worker = |x: f64| if drivers == 0 { 0.0 } else { x / drivers as f64 };
+        let per_worker = |x: f64| {
+            if drivers == 0 {
+                0.0
+            } else {
+                x / drivers as f64
+            }
+        };
         Self {
             drivers,
             tasks,

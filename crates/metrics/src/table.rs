@@ -260,10 +260,7 @@ mod tests {
         let chart = render_bars(&s, 10);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 4);
-        let bars: Vec<usize> = lines[1..]
-            .iter()
-            .map(|l| l.matches('█').count())
-            .collect();
+        let bars: Vec<usize> = lines[1..].iter().map(|l| l.matches('█').count()).collect();
         assert_eq!(bars, vec![5, 10, 0]);
     }
 

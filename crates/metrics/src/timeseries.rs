@@ -123,7 +123,8 @@ mod tests {
             .with_driver_count(drivers, DriverModel::Hitchhiking)
             .generate();
         let market = Market::from_trace(&trace, &MarketBuildOptions::default());
-        let result = Simulator::new(&market).run(&mut MaxMargin::new(), SimulationOptions::default());
+        let result =
+            Simulator::new(&market).run(&mut MaxMargin::new(), SimulationOptions::default());
         (market, result)
     }
 

@@ -40,8 +40,7 @@
 //! assert_eq!(result.served + result.rejected, market.num_tasks());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod batch;
 mod policy;
@@ -49,6 +48,8 @@ mod simulator;
 mod validate;
 
 pub use batch::run_batched;
-pub use policy::{Candidate, DispatchPolicy, MaxMargin, NearestDriver, RandomDispatch, WeightedScore};
+pub use policy::{
+    Candidate, DispatchPolicy, MaxMargin, NearestDriver, RandomDispatch, WeightedScore,
+};
 pub use simulator::{DispatchEvent, SimulationOptions, SimulationResult, Simulator};
 pub use validate::validate_online;

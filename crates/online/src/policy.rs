@@ -153,8 +153,7 @@ impl DispatchPolicy for WeightedScore {
             .enumerate()
             .max_by(|(_, a), (_, b)| {
                 let score = |c: &Candidate| {
-                    c.marginal_value
-                        - self.lambda_per_min * ((c.arrival - earliest).as_mins_f64())
+                    c.marginal_value - self.lambda_per_min * ((c.arrival - earliest).as_mins_f64())
                 };
                 score(a)
                     .partial_cmp(&score(b))

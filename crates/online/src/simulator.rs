@@ -81,7 +81,10 @@ impl SimulationResult {
             return None;
         }
         Some(
-            self.events.iter().map(|e| e.wait.as_mins_f64()).sum::<f64>()
+            self.events
+                .iter()
+                .map(|e| e.wait.as_mins_f64())
+                .sum::<f64>()
                 / self.events.len() as f64,
         )
     }
@@ -100,8 +103,7 @@ impl SimulationResult {
             return None;
         }
         Some(
-            self.events.iter().map(|e| e.candidates as f64).sum::<f64>()
-                / self.events.len() as f64,
+            self.events.iter().map(|e| e.candidates as f64).sum::<f64>() / self.events.len() as f64,
         )
     }
 }
@@ -137,7 +139,11 @@ impl<'m> Simulator<'m> {
 
     /// Replays every task through `policy` under `options`.
     #[must_use]
-    pub fn run(&self, policy: &mut dyn DispatchPolicy, options: SimulationOptions) -> SimulationResult {
+    pub fn run(
+        &self,
+        policy: &mut dyn DispatchPolicy,
+        options: SimulationOptions,
+    ) -> SimulationResult {
         let market = self.market;
         let n = market.num_drivers();
         let m = market.num_tasks();
@@ -355,10 +361,7 @@ mod tests {
             let r = sim.run(policy, SimulationOptions::default());
             assert_eq!(r.served + r.rejected, m.num_tasks());
             assert_eq!(r.served, r.assignment.served_count());
-            assert_eq!(
-                r.dispatch.iter().filter(|d| d.is_some()).count(),
-                r.served
-            );
+            assert_eq!(r.dispatch.iter().filter(|d| d.is_some()).count(), r.served);
             validate_online(&m, &r.assignment).unwrap();
         }
     }
@@ -383,8 +386,14 @@ mod tests {
     fn deterministic_replay() {
         let m = market(43, 100, 10);
         let sim = Simulator::new(&m);
-        let a = sim.run(&mut NearestDriver::with_seed(5), SimulationOptions::default());
-        let b = sim.run(&mut NearestDriver::with_seed(5), SimulationOptions::default());
+        let a = sim.run(
+            &mut NearestDriver::with_seed(5),
+            SimulationOptions::default(),
+        );
+        let b = sim.run(
+            &mut NearestDriver::with_seed(5),
+            SimulationOptions::default(),
+        );
         assert_eq!(a.dispatch, b.dispatch);
     }
 
@@ -477,7 +486,8 @@ mod tests {
     fn more_drivers_serve_more() {
         let small = market(48, 200, 5);
         let big = market(48, 200, 60);
-        let r_small = Simulator::new(&small).run(&mut MaxMargin::new(), SimulationOptions::default());
+        let r_small =
+            Simulator::new(&small).run(&mut MaxMargin::new(), SimulationOptions::default());
         let r_big = Simulator::new(&big).run(&mut MaxMargin::new(), SimulationOptions::default());
         assert!(
             r_big.served > r_small.served,

@@ -137,7 +137,10 @@ mod tests {
         let t0 = task(0, 1.0, 0, 1000, 4000, 600);
         let t1 = task(1, 1.0, 900, 2000, 2600, 300);
         let market = Market::new(vec![driver(0, 10_000)], vec![t0, t1], speed(), None);
-        assert!(!market.has_chain_edge(0, 1), "offline map must lack the arc");
+        assert!(
+            !market.has_chain_edge(0, 1),
+            "offline map must lack the arc"
+        );
         let mut a = rideshare_core::Assignment::empty(1);
         a.set_route(DriverId::new(0), vec![TaskId::new(0), TaskId::new(1)]);
         assert!(a.validate(&market).is_err(), "offline validation rejects");

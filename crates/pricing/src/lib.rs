@@ -34,8 +34,7 @@
 //! assert!(p2.approx_eq(p * 2.0));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod fare;
 mod surge;

@@ -158,7 +158,8 @@ impl SurgeEngine {
     /// virtual driver so empty cells do not divide by zero.
     #[must_use]
     pub fn multiplier(&self, cell: CellId) -> f64 {
-        self.config.multiplier_for(self.demand(cell), self.supply(cell))
+        self.config
+            .multiplier_for(self.demand(cell), self.supply(cell))
     }
 
     /// Clears all counts (e.g. at a time-bucket boundary).

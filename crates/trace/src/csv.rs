@@ -70,7 +70,11 @@ pub fn trips_from_csv(csv: &str) -> Result<Vec<TripRecord>, String> {
         }
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 10 {
-            return Err(format!("line {}: expected 10 fields, got {}", ln + 2, f.len()));
+            return Err(format!(
+                "line {}: expected 10 fields, got {}",
+                ln + 2,
+                f.len()
+            ));
         }
         let err = |what: &str| format!("line {}: bad {what}", ln + 2);
         out.push(TripRecord {
@@ -84,9 +88,7 @@ pub fn trips_from_csv(csv: &str) -> Result<Vec<TripRecord>, String> {
                 f[4].parse().map_err(|_| err("dest_lat"))?,
                 f[5].parse().map_err(|_| err("dest_lon"))?,
             ),
-            pickup_deadline: Timestamp::from_secs(
-                f[6].parse().map_err(|_| err("pickup_secs"))?,
-            ),
+            pickup_deadline: Timestamp::from_secs(f[6].parse().map_err(|_| err("pickup_secs"))?),
             completion_deadline: Timestamp::from_secs(
                 f[7].parse().map_err(|_| err("completion_secs"))?,
             ),
@@ -140,7 +142,11 @@ pub fn drivers_from_csv(csv: &str) -> Result<Vec<DriverShift>, String> {
         }
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 8 {
-            return Err(format!("line {}: expected 8 fields, got {}", ln + 2, f.len()));
+            return Err(format!(
+                "line {}: expected 8 fields, got {}",
+                ln + 2,
+                f.len()
+            ));
         }
         let err = |what: &str| format!("line {}: bad {what}", ln + 2);
         out.push(DriverShift {
@@ -153,9 +159,7 @@ pub fn drivers_from_csv(csv: &str) -> Result<Vec<DriverShift>, String> {
                 f[3].parse().map_err(|_| err("dest_lat"))?,
                 f[4].parse().map_err(|_| err("dest_lon"))?,
             ),
-            shift_start: Timestamp::from_secs(
-                f[5].parse().map_err(|_| err("shift_start_secs"))?,
-            ),
+            shift_start: Timestamp::from_secs(f[5].parse().map_err(|_| err("shift_start_secs"))?),
             shift_end: Timestamp::from_secs(f[6].parse().map_err(|_| err("shift_end_secs"))?),
             model: match f[7].trim() {
                 "hwh" => DriverModel::HomeWorkHome,
@@ -174,7 +178,10 @@ mod tests {
 
     #[test]
     fn trip_round_trip() {
-        let trace = TraceConfig::porto().with_seed(1).with_task_count(20).generate();
+        let trace = TraceConfig::porto()
+            .with_seed(1)
+            .with_task_count(20)
+            .generate();
         let csv = trips_to_csv(&trace.trips);
         let back = trips_from_csv(&csv).unwrap();
         assert_eq!(back.len(), trace.trips.len());
@@ -217,7 +224,10 @@ mod tests {
 
     #[test]
     fn rejects_malformed_rows() {
-        let good = TraceConfig::porto().with_seed(1).with_task_count(1).generate();
+        let good = TraceConfig::porto()
+            .with_seed(1)
+            .with_task_count(1)
+            .generate();
         let mut csv = trips_to_csv(&good.trips);
         csv.push_str("1,2,3\n");
         let e = trips_from_csv(&csv).unwrap_err();
@@ -231,7 +241,10 @@ mod tests {
 
     #[test]
     fn empty_lines_skipped() {
-        let trace = TraceConfig::porto().with_seed(4).with_task_count(3).generate();
+        let trace = TraceConfig::porto()
+            .with_seed(4)
+            .with_task_count(3)
+            .generate();
         let mut csv = trips_to_csv(&trace.trips);
         csv.push('\n');
         assert_eq!(trips_from_csv(&csv).unwrap().len(), 3);

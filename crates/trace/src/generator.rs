@@ -12,8 +12,8 @@ use crate::{DriverModel, DriverShift, TripRecord};
 /// Double-peaked urban demand profile (share of daily demand per hour),
 /// with a morning rush around 8–9 and an evening rush around 18–20.
 const DEFAULT_HOURLY_DEMAND: [f64; 24] = [
-    1.2, 0.8, 0.6, 0.4, 0.4, 0.7, 1.5, 3.0, 5.5, 5.0, 4.0, 4.2, 4.8, 4.6, 4.2, 4.4, 5.0, 6.0,
-    7.0, 6.5, 5.5, 4.5, 3.0, 2.2,
+    1.2, 0.8, 0.6, 0.4, 0.4, 0.7, 1.5, 3.0, 5.5, 5.0, 4.0, 4.2, 4.8, 4.6, 4.2, 4.4, 5.0, 6.0, 7.0,
+    6.5, 5.5, 4.5, 3.0, 2.2,
 ];
 
 /// Configuration for synthesising one day of a Porto-like taxi market.
@@ -285,9 +285,10 @@ impl TraceConfig {
         let driven_km = self.distance_km.sample(rng);
         let destination = self.sample_destination(rng, origin, driven_km);
         // Realised driven distance after the in-box clamp.
-        let driven_km = self.speed.driven_km(origin, destination).max(
-            self.distance_km.xmin(),
-        );
+        let driven_km = self
+            .speed
+            .driven_km(origin, destination)
+            .max(self.distance_km.xmin());
 
         let base = self.speed.travel_time_for_km(driven_km);
         let duration =
@@ -341,9 +342,8 @@ impl TraceConfig {
                 }
                 let commute = self.speed.travel_time(source, destination);
                 let slack = rng.gen_range(self.hitchhike_slack.0..self.hitchhike_slack.1);
-                let window =
-                    TimeDelta::from_secs_f64(commute.as_secs() as f64 * slack)
-                        .max(TimeDelta::from_mins(30));
+                let window = TimeDelta::from_secs_f64(commute.as_secs() as f64 * slack)
+                    .max(TimeDelta::from_mins(30));
                 let latest = (24 * 3600 - window.as_secs()).max(0);
                 let start = Timestamp::from_secs(rng.gen_range(0..=latest));
                 DriverShift {
@@ -505,7 +505,10 @@ mod tests {
 
     #[test]
     fn delivery_preset_has_delivery_time_structure() {
-        let rides = TraceConfig::porto().with_seed(12).with_task_count(400).generate();
+        let rides = TraceConfig::porto()
+            .with_seed(12)
+            .with_task_count(400)
+            .generate();
         let deliveries = TraceConfig::porto_delivery()
             .with_seed(12)
             .with_task_count(400)
@@ -553,8 +556,7 @@ mod tests {
             .trips
             .iter()
             .filter(|x| {
-                x.origin.haversine_km(depot_west) < 2.0
-                    || x.origin.haversine_km(depot_east) < 2.0
+                x.origin.haversine_km(depot_west) < 2.0 || x.origin.haversine_km(depot_east) < 2.0
             })
             .count();
         assert!(

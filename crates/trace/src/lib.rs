@@ -39,8 +39,7 @@
 //!     .all(|w| w[0].publish_time <= w[1].publish_time));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod csv;
 mod driver;

@@ -76,8 +76,9 @@ pub fn generate_days(base: &TraceConfig, num_days: usize) -> MultiDayTrace {
     let days = (0..num_days)
         .map(|d| {
             let weekday = d % 7;
-            let tasks =
-                ((base_tasks as f64) * WEEKDAY_DEMAND[weekday]).round().max(0.0) as usize;
+            let tasks = ((base_tasks as f64) * WEEKDAY_DEMAND[weekday])
+                .round()
+                .max(0.0) as usize;
             let mut day = base
                 .clone()
                 .with_seed(base.seed().wrapping_add(d as u64))

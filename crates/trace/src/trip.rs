@@ -153,12 +153,20 @@ mod tests {
         assert_eq!(line.duration_secs(), 600);
         // Length approximates the driven distance (parabolic-bend model).
         let err = (line.length_km() - t.distance_km).abs() / t.distance_km;
-        assert!(err < 0.15, "polyline {} vs driven {}", line.length_km(), t.distance_km);
+        assert!(
+            err < 0.15,
+            "polyline {} vs driven {}",
+            line.length_km(),
+            t.distance_km
+        );
     }
 
     #[test]
     fn generated_trip_polylines_are_sane() {
-        let trace = crate::TraceConfig::porto().with_seed(33).with_task_count(50).generate();
+        let trace = crate::TraceConfig::porto()
+            .with_seed(33)
+            .with_task_count(50)
+            .generate();
         for trip in &trace.trips {
             let line = trip.polyline();
             assert!(line.len() >= 2);

@@ -29,8 +29,7 @@
 //! assert_eq!(driver.index(), 7);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod error;
 mod ids;

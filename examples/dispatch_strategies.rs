@@ -30,8 +30,14 @@ fn main() {
             "maxMargin (Alg. 4)",
             sim.run(&mut MaxMargin::new(), SimulationOptions::default()),
         ),
-        ("batched 2 min", run_batched(&market, TimeDelta::from_mins(2))),
-        ("batched 10 min", run_batched(&market, TimeDelta::from_mins(10))),
+        (
+            "batched 2 min",
+            run_batched(&market, TimeDelta::from_mins(2)),
+        ),
+        (
+            "batched 10 min",
+            run_batched(&market, TimeDelta::from_mins(10)),
+        ),
     ] {
         validate_online(&market, &result.assignment).expect("feasible");
         rows.push(vec![

@@ -19,7 +19,11 @@ fn main() {
 
         if drivers == 30 {
             // Fig. 3–4 style sanity check on the demand marginals.
-            let mins: Vec<f64> = trace.trips.iter().map(|t| t.duration.as_mins_f64()).collect();
+            let mins: Vec<f64> = trace
+                .trips
+                .iter()
+                .map(|t| t.duration.as_mins_f64())
+                .collect();
             let kms: Vec<f64> = trace.trips.iter().map(|t| t.distance_km).collect();
             let t = summarize(&mins).expect("non-empty");
             let d = summarize(&kms).expect("non-empty");
@@ -40,7 +44,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["mode", "revenue", "profit", "served", "rev/worker", "tasks/worker"],
+                &[
+                    "mode",
+                    "revenue",
+                    "profit",
+                    "served",
+                    "rev/worker",
+                    "tasks/worker"
+                ],
                 &[
                     vec![
                         "online (maxMargin)".into(),

@@ -29,7 +29,10 @@ fn main() {
 
     // 3. Offline: the greedy GA (Alg. 1) with its 1/(D+1) guarantee.
     let offline = solve_greedy(&market, Objective::Profit);
-    offline.assignment.validate(&market).expect("GA is feasible");
+    offline
+        .assignment
+        .validate(&market)
+        .expect("GA is feasible");
     let offline_profit = offline
         .assignment
         .objective_value(&market, Objective::Profit);
@@ -44,7 +47,10 @@ fn main() {
     let bound = lp_upper_bound(&market, Objective::Profit, UpperBoundOptions::default())
         .expect("column generation converges");
 
-    println!("\n{:<12} {:>10} {:>8} {:>8}", "algorithm", "profit", "ratio", "served");
+    println!(
+        "\n{:<12} {:>10} {:>8} {:>8}",
+        "algorithm", "profit", "ratio", "served"
+    );
     for (name, profit, served) in [
         ("Greedy", offline_profit, offline.assignment.served_count()),
         ("maxMargin", mm.total_profit(&market), mm.served),

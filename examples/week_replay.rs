@@ -41,10 +41,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["day", "orders", "served", "revenue", "rev/driver"],
-            &rows
-        )
+        render_table(&["day", "orders", "served", "revenue", "rev/driver"], &rows)
     );
     println!(
         "week total: {weekly_orders} orders, {weekly_served} served, {weekly_revenue:.0} revenue"

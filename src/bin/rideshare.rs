@@ -78,9 +78,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match flag_value(args, name) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| format!("bad value '{v}' for {name}")),
+        Some(v) => v.parse().map_err(|_| format!("bad value '{v}' for {name}")),
     }
 }
 

@@ -44,8 +44,7 @@
 //! validate_online(&market, &online.assignment).unwrap();
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+// Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 pub use rideshare_core as core;
 pub use rideshare_geo as geo;

@@ -11,7 +11,8 @@ fn cli(args: &[&str]) -> Output {
 }
 
 fn tmpdir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("rideshare-cli-test-{name}-{}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("rideshare-cli-test-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -22,9 +23,21 @@ fn generate_summary_solve_simulate_bound_pipeline() {
     let dir_s = dir.to_str().unwrap();
 
     let gen = cli(&[
-        "generate", "--tasks", "50", "--drivers", "6", "--seed", "11", "--out", dir_s,
+        "generate",
+        "--tasks",
+        "50",
+        "--drivers",
+        "6",
+        "--seed",
+        "11",
+        "--out",
+        dir_s,
     ]);
-    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
     assert!(dir.join("trips.csv").exists());
     assert!(dir.join("drivers.csv").exists());
 
@@ -57,7 +70,14 @@ fn generate_is_deterministic_in_seed() {
     let b = tmpdir("det-b");
     for dir in [&a, &b] {
         let out = cli(&[
-            "generate", "--tasks", "20", "--drivers", "3", "--seed", "99", "--out",
+            "generate",
+            "--tasks",
+            "20",
+            "--drivers",
+            "3",
+            "--seed",
+            "99",
+            "--out",
             dir.to_str().unwrap(),
         ]);
         assert!(out.status.success());
@@ -75,7 +95,14 @@ fn delivery_flag_changes_structure() {
     let deliv = tmpdir("deliv");
     for (dir, extra) in [(&rides, None), (&deliv, Some("--delivery"))] {
         let mut args = vec![
-            "generate", "--tasks", "30", "--drivers", "3", "--seed", "5", "--out",
+            "generate",
+            "--tasks",
+            "30",
+            "--drivers",
+            "3",
+            "--seed",
+            "5",
+            "--out",
             dir.to_str().unwrap(),
         ];
         if let Some(f) = extra {

@@ -140,7 +140,11 @@ fn branch_and_bound_set_packing() {
         (vec![c, d], 4),
         (vec![c], 5),
     ] {
-        lp.add_constraint(elem_sets.into_iter().map(|v| (v, 1.0)).collect(), Cmp::Le, 1.0);
+        lp.add_constraint(
+            elem_sets.into_iter().map(|v| (v, 1.0)).collect(),
+            Cmp::Le,
+            1.0,
+        );
     }
     let sol = BranchAndBound::new(lp, vec![a, b, c, d]).solve().unwrap();
     assert_close(sol.objective, 12.0, 1e-6);

@@ -28,7 +28,10 @@ fn run_point(drivers: usize, model: DriverModel) -> SweepPoint {
     let greedy = solve_greedy(&market, Objective::Profit);
     let sim = Simulator::new(&market);
     let mm = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
-    let nearest = sim.run(&mut NearestDriver::with_seed(0), SimulationOptions::default());
+    let nearest = sim.run(
+        &mut NearestDriver::with_seed(0),
+        SimulationOptions::default(),
+    );
     SweepPoint {
         greedy_profit: greedy
             .assignment

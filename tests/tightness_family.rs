@@ -16,10 +16,7 @@ fn greedy_profit_is_one_across_family() {
                 .assignment
                 .objective_value(&inst.market, Objective::Profit)
                 .as_f64();
-            assert!(
-                (p - 1.0).abs() < 1e-3,
-                "D={d} eps={eps}: GA profit {p}"
-            );
+            assert!((p - 1.0).abs() < 1e-3, "D={d} eps={eps}: GA profit {p}");
         }
     }
 }

@@ -1,0 +1,323 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the Criterion 0.5 API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a simple
+//! warm-up + fixed-duration loop that reports the mean wall-clock time
+//! per iteration — adequate for relative comparisons, without Criterion's
+//! statistical machinery or HTML reports.
+//!
+//! Like the real crate, running a bench binary with `--test` (which
+//! `cargo test --benches` does) executes each benchmark body once and
+//! skips measurement.
+//!
+//! ```
+//! use criterion::{BenchmarkId, Criterion};
+//!
+//! let mut c = Criterion::test_mode();
+//! c.bench_function("square", |b| b.iter(|| std::hint::black_box(3u64 * 3)));
+//! let mut group = c.benchmark_group("sums");
+//! for n in [10u64, 100] {
+//!     group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+//!         b.iter(|| (0..n).sum::<u64>());
+//!     });
+//! }
+//! group.finish();
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], which upstream Criterion also
+/// provides under this name.
+pub use std::hint::black_box;
+
+/// Entry point that registers and runs benchmarks.
+pub struct Criterion {
+    test_mode: bool,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--bench` to `harness = false` bench binaries only
+        // under `cargo bench`; anything else (notably `cargo test
+        // --benches`, which passes `--test` or nothing) smoke-executes
+        // each body once without timing, as upstream Criterion does.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+        Criterion {
+            test_mode,
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Creates a harness that always runs in test mode (single iteration,
+    /// no timing). Used by doc tests and smoke tests.
+    #[must_use]
+    pub fn test_mode() -> Self {
+        Criterion {
+            test_mode: true,
+            measure: Duration::ZERO,
+        }
+    }
+
+    /// Benchmarks a single function under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.test_mode, self.measure, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            measure: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    // Per-group override; dropped with the group, as in real Criterion.
+    measure: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed-duration loop has
+    /// no per-group sample count to configure.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement duration for this group only.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = Some(d);
+        self
+    }
+
+    fn measure(&self) -> Duration {
+        self.measure.unwrap_or(self.criterion.measure)
+    }
+
+    /// Benchmarks `f` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, self.criterion.test_mode, self.measure(), &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&label, self.criterion.test_mode, self.measure(), &mut g);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, a parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id made of a parameter value alone (the group supplies the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various accepted id types into a display label.
+pub trait IntoBenchmarkId {
+    /// The label printed for this benchmark.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] runs the measured
+/// routine.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    iters: u64,
+}
+
+enum BencherMode {
+    Test,
+    Measure(Duration),
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BencherMode::Test => {
+                black_box(routine());
+                self.iters = 1;
+                self.mean_ns = 0.0;
+            }
+            BencherMode::Measure(budget) => {
+                // Warm-up: one untimed call, also used to size batches.
+                let warm = Instant::now();
+                black_box(routine());
+                let once = warm.elapsed().max(Duration::from_nanos(1));
+                let batch = (Duration::from_millis(10).as_nanos() / once.as_nanos())
+                    .clamp(1, 10_000) as u64;
+                let mut iters = 0u64;
+                let start = Instant::now();
+                while start.elapsed() < budget {
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    iters += batch;
+                }
+                let total = start.elapsed();
+                self.iters = iters.max(1);
+                self.mean_ns = total.as_nanos() as f64 / self.iters as f64;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, measure: Duration, f: &mut F) {
+    let mut b = Bencher {
+        mode: if test_mode {
+            BencherMode::Test
+        } else {
+            BencherMode::Measure(measure)
+        },
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {label} ... ok");
+    } else {
+        println!(
+            "{label:<48} {:>12} /iter ({} iterations)",
+            human_ns(b.mean_ns),
+            b.iters
+        );
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(name, target, target, …)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion::test_mode();
+        let mut calls = 0u32;
+        c.bench_function("counted", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        assert_eq!(BenchmarkId::new("f", 10).into_benchmark_id(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(42).into_benchmark_id(), "42");
+    }
+
+    #[test]
+    fn measured_iter_reports_positive_mean() {
+        let mut c = Criterion {
+            test_mode: false,
+            measure: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+        group.finish();
+    }
+}
