@@ -1,0 +1,65 @@
+//! All figures in one command: sweep the full scenario catalog under the
+//! default policy set and emit one machine-readable report.
+//!
+//! This is the catalog-driven successor of the per-figure binaries: every
+//! workload the paper evaluates (plus the extended ones — delivery,
+//! rush-hour surge, multi-day) runs through the same parallel sharded
+//! sweep engine and lands in one `scenario × policy` table of
+//! `{profit, served, ratio vs Z_f*, wall-time}`.
+//!
+//! Usage: `cargo run --release --bin fig_all [--quick] [--threads N]
+//!         [--no-bound] [--json PATH] [--csv PATH]`
+//!
+//! `--quick` restricts the run to the tiny catalog (the CI snapshot
+//! matrix); `--threads` sets the shard fan-out (default: all cores);
+//! `--no-bound` skips the `Z_f*` denominators; `--json`/`--csv` also write
+//! the report to files (timing included).
+
+use rideshare_bench::{run_sweep, PolicySpec, Scenario, SweepOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let threads: usize = match flag_value("--threads") {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad value '{v}' for --threads");
+            std::process::exit(1);
+        }),
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    };
+    let scenarios = if args.iter().any(|a| a == "--quick") {
+        Scenario::tiny_catalog()
+    } else {
+        Scenario::catalog()
+    };
+    let opts = SweepOptions {
+        threads,
+        compute_bound: !args.iter().any(|a| a == "--no-bound"),
+    };
+
+    eprintln!(
+        "sweeping {} scenarios × {} policies on {threads} thread(s)…",
+        scenarios.len(),
+        PolicySpec::default_set().len()
+    );
+    let start = std::time::Instant::now();
+    let report = run_sweep(&scenarios, &PolicySpec::default_set(), opts);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!("{}", report.render());
+    println!("cells are profit (ratio vs Z_f*); swept in {elapsed:.2}s");
+
+    if let Some(path) = flag_value("--json") {
+        std::fs::write(&path, report.to_json(true)).expect("write JSON report");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = flag_value("--csv") {
+        std::fs::write(&path, report.to_csv(true)).expect("write CSV report");
+        eprintln!("wrote {path}");
+    }
+}

@@ -22,6 +22,12 @@
 
 // Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
+pub mod scenario;
+pub mod sweep;
+
+pub use scenario::{Scenario, ScenarioKind};
+pub use sweep::{run_sweep, PolicySpec, SweepCell, SweepOptions, SweepReport};
+
 use rideshare_core::{
     lp_upper_bound, solve_greedy, Market, MarketBuildOptions, Objective, UpperBoundOptions,
 };

@@ -1,0 +1,322 @@
+//! The declarative scenario catalog: named, seeded market presets.
+//!
+//! A [`Scenario`] is everything needed to rebuild one evaluation market
+//! bit-for-bit: a name, a seed, and either a [`TraceConfig`] +
+//! [`MarketBuildOptions`] pair (optionally spanning several days) or an
+//! analytic construction such as the Fig. 2 tightness family. The
+//! [`Scenario::catalog`] spans the paper's workloads — Porto rides,
+//! same-day delivery, rush-hour surge, multi-day horizons, sparse and
+//! dense driver ratios, and the adversarial `1/(D+1)` family — so "run the
+//! paper's figures" becomes "sweep the catalog" (see [`crate::sweep`]).
+//!
+//! Every scenario is deterministic: building the same scenario twice
+//! yields identical markets, which is what lets the golden regression
+//! suite pin profits and ratios to exact values.
+
+use rideshare_core::{tightness::fig2_instance, Market, MarketBuildOptions};
+use rideshare_trace::{generate_days, DriverModel, TraceConfig};
+use rideshare_types::TimeDelta;
+
+/// How a scenario constructs its market.
+#[derive(Clone, Debug)]
+pub enum ScenarioKind {
+    /// Generate a trace (possibly multi-day, flattened to one stream) and
+    /// price it into a market.
+    Trace {
+        /// The trace generator configuration (seed included), boxed to
+        /// keep the enum small next to the parameter-only variants.
+        config: Box<TraceConfig>,
+        /// Market construction options (fares, surge, WTP).
+        build: MarketBuildOptions,
+        /// Number of consecutive days; `1` is a single day, larger values
+        /// use [`generate_days`] and flatten into one order stream.
+        days: usize,
+    },
+    /// The Fig. 2 adversarial family showing `1/(D+1)` is tight.
+    Tightness {
+        /// Chain length / diameter parameter `D ≥ 1`.
+        d: usize,
+        /// Profit wedge `ε ∈ (0, 1)`.
+        epsilon: f64,
+    },
+}
+
+/// One named, reproducible market preset.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Catalog key, e.g. `"porto-day"`.
+    pub name: &'static str,
+    /// One-line description for `--help`-style listings.
+    pub summary: &'static str,
+    /// The construction recipe.
+    pub kind: ScenarioKind,
+}
+
+impl Scenario {
+    /// Materialises the scenario's market. Deterministic: equal scenarios
+    /// build equal markets.
+    #[must_use]
+    pub fn build_market(&self) -> Market {
+        match &self.kind {
+            ScenarioKind::Trace {
+                config,
+                build,
+                days,
+            } => {
+                let trace = if *days <= 1 {
+                    config.generate()
+                } else {
+                    generate_days(config, *days)
+                        .flattened()
+                        .expect("non-zero day count")
+                };
+                Market::from_trace(&trace, build)
+            }
+            ScenarioKind::Tightness { d, epsilon } => fig2_instance(*d, *epsilon).market,
+        }
+    }
+
+    /// The full catalog, in report order.
+    ///
+    /// Sizes are chosen so the whole catalog sweeps in seconds in release
+    /// mode; `porto-large` is the deliberately heavy preset for measuring
+    /// the parallel speed-up.
+    #[must_use]
+    pub fn catalog() -> Vec<Scenario> {
+        let mut out = Self::tiny_catalog();
+        out.extend([
+            Scenario {
+                name: "porto-day",
+                summary: "one Porto day, balanced supply (300 tasks, 40 commuters)",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto()
+                            .with_seed(11)
+                            .with_task_count(300)
+                            .with_driver_count(40, DriverModel::Hitchhiking),
+                    ),
+                    build: MarketBuildOptions::default(),
+                    days: 1,
+                },
+            },
+            Scenario {
+                name: "porto-sparse",
+                summary: "driver drought: 300 tasks chased by 10 drivers",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto()
+                            .with_seed(12)
+                            .with_task_count(300)
+                            .with_driver_count(10, DriverModel::Hitchhiking),
+                    ),
+                    build: MarketBuildOptions::default(),
+                    days: 1,
+                },
+            },
+            Scenario {
+                name: "porto-dense",
+                summary: "driver glut: 300 tasks, 120 drivers, thick candidate sets",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto()
+                            .with_seed(13)
+                            .with_task_count(300)
+                            .with_driver_count(120, DriverModel::Hitchhiking),
+                    ),
+                    build: MarketBuildOptions::default(),
+                    days: 1,
+                },
+            },
+            Scenario {
+                name: "delivery-day",
+                summary: "same-day delivery: depot pickups, long leads, loose windows",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto_delivery()
+                            .with_seed(14)
+                            .with_task_count(250)
+                            .with_driver_count(30, DriverModel::HomeWorkHome),
+                    ),
+                    build: MarketBuildOptions::default(),
+                    days: 1,
+                },
+            },
+            Scenario {
+                name: "rush-hour",
+                summary: "twin commute peaks with dynamic (publish-time) surge",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto()
+                            .with_seed(15)
+                            .with_task_count(250)
+                            .with_driver_count(35, DriverModel::Hitchhiking)
+                            .with_hourly_demand(rush_hour_demand()),
+                    ),
+                    build: MarketBuildOptions {
+                        surge_window: Some(TimeDelta::from_mins(30)),
+                        ..MarketBuildOptions::default()
+                    },
+                    days: 1,
+                },
+            },
+            Scenario {
+                name: "porto-week",
+                summary: "three weekday traffic replayed as one stream, one fleet",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto()
+                            .with_seed(16)
+                            .with_task_count(120)
+                            .with_driver_count(25, DriverModel::Hitchhiking),
+                    ),
+                    build: MarketBuildOptions::default(),
+                    days: 3,
+                },
+            },
+            Scenario {
+                name: "porto-large",
+                summary: "the heavy preset: 1200 tasks, 150 drivers (parallel speed-up demo)",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto()
+                            .with_seed(17)
+                            .with_task_count(1200)
+                            .with_driver_count(150, DriverModel::Hitchhiking),
+                    ),
+                    build: MarketBuildOptions::default(),
+                    days: 1,
+                },
+            },
+        ]);
+        out
+    }
+
+    /// The tiny sub-catalog used by the golden regression tests and the CI
+    /// snapshot sweep: small enough to solve (LP bound included) in debug
+    /// builds in well under a second each.
+    #[must_use]
+    pub fn tiny_catalog() -> Vec<Scenario> {
+        vec![
+            Scenario {
+                name: "tiny-rides",
+                summary: "golden preset: 80 Porto orders, 10 commuters",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto()
+                            .with_seed(101)
+                            .with_task_count(80)
+                            .with_driver_count(10, DriverModel::Hitchhiking),
+                    ),
+                    build: MarketBuildOptions::default(),
+                    days: 1,
+                },
+            },
+            Scenario {
+                name: "tiny-delivery",
+                summary: "golden preset: 60 depot deliveries, 8 couriers",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto_delivery()
+                            .with_seed(102)
+                            .with_task_count(60)
+                            .with_driver_count(8, DriverModel::HomeWorkHome),
+                    ),
+                    build: MarketBuildOptions::default(),
+                    days: 1,
+                },
+            },
+            Scenario {
+                name: "tiny-rush",
+                summary: "golden preset: 70 rush-hour orders under dynamic surge",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto()
+                            .with_seed(103)
+                            .with_task_count(70)
+                            .with_driver_count(9, DriverModel::Hitchhiking)
+                            .with_hourly_demand(rush_hour_demand()),
+                    ),
+                    build: MarketBuildOptions {
+                        surge_window: Some(TimeDelta::from_mins(30)),
+                        ..MarketBuildOptions::default()
+                    },
+                    days: 1,
+                },
+            },
+            Scenario {
+                name: "tightness-d4",
+                summary: "Fig. 2 adversarial family at D = 4, ε = 0.05",
+                kind: ScenarioKind::Tightness {
+                    d: 4,
+                    epsilon: 0.05,
+                },
+            },
+        ]
+    }
+
+    /// Looks a scenario up by catalog name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Self::catalog().into_iter().find(|s| s.name == name)
+    }
+}
+
+/// A demand profile with nothing but the two commute peaks.
+fn rush_hour_demand() -> [f64; 24] {
+    let mut demand = [0.2; 24];
+    demand[7] = 5.0;
+    demand[8] = 8.0;
+    demand[9] = 4.0;
+    demand[17] = 5.0;
+    demand[18] = 8.0;
+    demand[19] = 4.0;
+    demand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_names_are_unique_and_resolvable() {
+        let cat = Scenario::catalog();
+        assert!(cat.len() >= 8, "catalog holds {} scenarios", cat.len());
+        let mut names: Vec<&str> = cat.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate scenario name");
+        for s in &cat {
+            assert!(Scenario::by_name(s.name).is_some(), "{} not found", s.name);
+        }
+        assert!(Scenario::by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn scenarios_build_deterministic_markets() {
+        for s in Scenario::tiny_catalog() {
+            let a = s.build_market();
+            let b = s.build_market();
+            assert_eq!(a.num_tasks(), b.num_tasks(), "{}", s.name);
+            assert_eq!(a.num_drivers(), b.num_drivers(), "{}", s.name);
+            assert_eq!(a.tasks(), b.tasks(), "{} tasks differ", s.name);
+            assert!(a.num_tasks() > 0, "{} is empty", s.name);
+        }
+    }
+
+    #[test]
+    fn multi_day_scenario_spans_days() {
+        let week = Scenario::by_name("porto-week").unwrap();
+        let m = week.build_market();
+        let last_publish = m
+            .tasks()
+            .iter()
+            .map(|t| t.publish_time)
+            .max()
+            .expect("non-empty");
+        assert!(
+            last_publish.as_secs() > 24 * 3600,
+            "publish times never leave day 0"
+        );
+    }
+}

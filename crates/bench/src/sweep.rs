@@ -1,0 +1,527 @@
+//! The parallel sharded sweep engine: scenario × policy → one report.
+//!
+//! [`run_sweep`] evaluates every catalog scenario under every requested
+//! policy and emits one machine-readable [`SweepReport`] (JSON or CSV) of
+//! `{profit, served, ratio vs Z_f*, wall-time}` per cell. Work is sharded
+//! two ways, both with `std::thread::scope` and no external dependencies:
+//!
+//! - **across scenarios**: each scenario unit (market build, `Z_f*` bound,
+//!   and all policy runs) is an independent shard, merged back in catalog
+//!   order;
+//! - **within a market**: the offline solver and the LP bound run per
+//!   disjoint component via [`rideshare_core::solve_sharded`] /
+//!   [`rideshare_core::sharded_upper_bound`], the lossless decomposition
+//!   of the paper's "partitioned deployment" argument (§I).
+//!
+//! Every cell is computed by deterministic code on deterministic inputs,
+//! and shards are merged by index — so the *results* are byte-identical
+//! for every `threads` value; only wall-times vary. [`SweepReport::to_json`]
+//! with `with_timing = false` (the *canonical* report) therefore makes a
+//! stable regression snapshot, which CI diffs on every push.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rideshare_core::partition::map_sharded;
+use rideshare_core::{
+    components_upper_bound, disjoint_components_sharded, solve_components, solve_sharded, Market,
+    Objective, SubMarket, UpperBoundOptions,
+};
+use rideshare_metrics::render_pivot;
+use rideshare_online::{
+    run_batched, MaxMargin, NearestDriver, RandomDispatch, SimulationOptions, Simulator,
+};
+use rideshare_types::TimeDelta;
+
+use crate::scenario::Scenario;
+
+/// One policy column of the sweep matrix.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum PolicySpec {
+    /// The offline greedy GA (Alg. 1), solved per disjoint component.
+    Greedy,
+    /// Online maxMargin dispatch (Alg. 4).
+    MaxMargin,
+    /// Online nearest-driver dispatch (Alg. 3), tie-break seed 0.
+    Nearest,
+    /// The uniform-random feasible baseline, seed 0.
+    Random,
+    /// Batched dispatch with the given hold window.
+    Batched(TimeDelta),
+}
+
+impl PolicySpec {
+    /// The default policy set for reports: offline reference plus the
+    /// paper's two online heuristics and the batched mode.
+    #[must_use]
+    pub fn default_set() -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::Greedy,
+            PolicySpec::MaxMargin,
+            PolicySpec::Nearest,
+            PolicySpec::Batched(TimeDelta::from_mins(3)),
+        ]
+    }
+
+    /// Stable column label: whole-minute windows label as `"batch-3m"`,
+    /// sub-minute ones as `"batch-90s"` so distinct windows never collide.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::Greedy => "greedy".into(),
+            PolicySpec::MaxMargin => "maxMargin".into(),
+            PolicySpec::Nearest => "nearest".into(),
+            PolicySpec::Random => "random".into(),
+            PolicySpec::Batched(w) => {
+                let secs = w.as_secs();
+                if secs % 60 == 0 {
+                    format!("batch-{}m", secs / 60)
+                } else {
+                    format!("batch-{secs}s")
+                }
+            }
+        }
+    }
+
+    /// Parses a label as produced by [`PolicySpec::label`].
+    #[must_use]
+    pub fn parse(label: &str) -> Option<PolicySpec> {
+        match label {
+            "greedy" => Some(PolicySpec::Greedy),
+            "maxmargin" | "maxMargin" | "margin" => Some(PolicySpec::MaxMargin),
+            "nearest" => Some(PolicySpec::Nearest),
+            "random" => Some(PolicySpec::Random),
+            _ => {
+                let rest = label.strip_prefix("batch-")?;
+                let window = if let Some(mins) = rest.strip_suffix('m') {
+                    TimeDelta::from_mins(mins.parse().ok()?)
+                } else {
+                    TimeDelta::from_secs(rest.strip_suffix('s')?.parse().ok()?)
+                };
+                window
+                    .is_non_negative()
+                    .then_some(PolicySpec::Batched(window))
+            }
+        }
+    }
+
+    /// Runs the policy on `market` and returns `(profit, served)`.
+    /// `threads` is honoured by the component-sharded offline solver;
+    /// online replays are inherently sequential per market.
+    #[must_use]
+    pub fn run(&self, market: &Market, threads: usize) -> (f64, usize) {
+        self.run_with(market, None, threads)
+    }
+
+    /// [`PolicySpec::run`] with an optional precomputed
+    /// [`rideshare_core::disjoint_components`] decomposition, so callers
+    /// evaluating several policies (or a policy plus the `Z_f*` bound) on
+    /// one market pay for the decomposition once.
+    #[must_use]
+    pub fn run_with(
+        &self,
+        market: &Market,
+        components: Option<&[SubMarket]>,
+        threads: usize,
+    ) -> (f64, usize) {
+        let assignment = match self {
+            PolicySpec::Greedy => match components {
+                Some(c) => solve_components(market, c, Objective::Profit, threads),
+                None => solve_sharded(market, Objective::Profit, threads),
+            },
+            PolicySpec::MaxMargin => {
+                Simulator::new(market)
+                    .run(&mut MaxMargin::new(), SimulationOptions::default())
+                    .assignment
+            }
+            PolicySpec::Nearest => {
+                Simulator::new(market)
+                    .run(
+                        &mut NearestDriver::with_seed(0),
+                        SimulationOptions::default(),
+                    )
+                    .assignment
+            }
+            PolicySpec::Random => {
+                Simulator::new(market)
+                    .run(
+                        &mut RandomDispatch::with_seed(0),
+                        SimulationOptions::default(),
+                    )
+                    .assignment
+            }
+            PolicySpec::Batched(w) => run_batched(market, *w).assignment,
+        };
+        (
+            assignment
+                .objective_value(market, Objective::Profit)
+                .as_f64(),
+            assignment.served_count(),
+        )
+    }
+}
+
+/// Options for [`run_sweep`].
+#[derive(Clone, Copy, Debug)]
+pub struct SweepOptions {
+    /// Total thread budget for both sharding axes.
+    pub threads: usize,
+    /// Compute the `Z_f*` denominator per scenario (skip for speed).
+    pub compute_bound: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            compute_bound: true,
+        }
+    }
+}
+
+/// One `(scenario, policy)` cell of the report.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy label.
+    pub policy: String,
+    /// Market size `M` (tasks).
+    pub tasks: usize,
+    /// Market size `N` (drivers).
+    pub drivers: usize,
+    /// Tasks served by the policy.
+    pub served: usize,
+    /// Drivers' total profit (Eq. 4).
+    pub profit: f64,
+    /// `profit / Z_f*` — the paper's performance ratio; `None` when the
+    /// bound was skipped or the scenario is worthless (`Z_f* = 0`).
+    ///
+    /// Offline policies land in `(0, 1]`, but online policies may
+    /// legitimately exceed `1.0` on loose-window workloads: early finishes
+    /// create task chains the *offline* task map (whose relaxation `Z_f*`
+    /// bounds) does not contain, so `Z_f*` is not an upper bound for
+    /// simulated dispatch. A ratio above 1 signals that effect, not a
+    /// solver bug.
+    pub ratio: Option<f64>,
+    /// Wall-clock milliseconds spent running the policy (excludes market
+    /// build and bound).
+    pub wall_ms: f64,
+}
+
+/// The sweep result: one cell per `(scenario, policy)`, in catalog ×
+/// policy order.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// All cells, scenario-major.
+    pub cells: Vec<SweepCell>,
+}
+
+/// Formats a float with fixed precision, trimming `-0.0000` to `0.0000`.
+fn fixed(v: f64, decimals: usize) -> String {
+    let s = format!("{v:.decimals$}");
+    match s.strip_prefix('-') {
+        Some(rest) if rest.chars().all(|c| c == '0' || c == '.') => rest.to_string(),
+        _ => s,
+    }
+}
+
+impl SweepReport {
+    /// Serialises the report as JSON (`rideshare-sweep/1` schema). With
+    /// `with_timing = false` the output is *canonical*: wall-times are
+    /// omitted, so equal results serialise to equal bytes regardless of
+    /// thread count or machine — the form CI snapshots.
+    #[must_use]
+    pub fn to_json(&self, with_timing: bool) -> String {
+        let mut out = String::from("{\n  \"schema\": \"rideshare-sweep/1\",\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let ratio = c.ratio.map_or_else(|| "null".into(), |r| fixed(r, 4));
+            let _ = write!(
+                out,
+                "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"tasks\": {}, \"drivers\": {}, \
+                 \"served\": {}, \"profit\": {}, \"ratio\": {}",
+                c.scenario,
+                c.policy,
+                c.tasks,
+                c.drivers,
+                c.served,
+                fixed(c.profit, 4),
+                ratio,
+            );
+            if with_timing {
+                let _ = write!(out, ", \"wall_ms\": {}", fixed(c.wall_ms, 3));
+            }
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serialises the report as CSV with a header row. Timing column
+    /// included only `with_timing`.
+    #[must_use]
+    pub fn to_csv(&self, with_timing: bool) -> String {
+        let mut out = String::from("scenario,policy,tasks,drivers,served,profit,ratio");
+        if with_timing {
+            out.push_str(",wall_ms");
+        }
+        out.push('\n');
+        for c in &self.cells {
+            let ratio = c.ratio.map_or_else(String::new, |r| fixed(r, 4));
+            let _ = write!(
+                out,
+                "{},{},{},{},{},{},{ratio}",
+                c.scenario,
+                c.policy,
+                c.tasks,
+                c.drivers,
+                c.served,
+                fixed(c.profit, 4),
+            );
+            if with_timing {
+                let _ = write!(out, ",{}", fixed(c.wall_ms, 3));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the scenario × policy profit matrix (ratio in parentheses
+    /// when available) as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut scenarios: Vec<&str> = Vec::new();
+        let mut policies: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !scenarios.contains(&c.scenario.as_str()) {
+                scenarios.push(&c.scenario);
+            }
+            if !policies.contains(&c.policy.as_str()) {
+                policies.push(&c.policy);
+            }
+        }
+        let cells: Vec<Vec<String>> = scenarios
+            .iter()
+            .map(|s| {
+                policies
+                    .iter()
+                    .map(|p| {
+                        self.cells
+                            .iter()
+                            .find(|c| c.scenario == *s && c.policy == *p)
+                            .map_or_else(String::new, |c| match c.ratio {
+                                Some(r) => format!("{} ({})", fixed(c.profit, 2), fixed(r, 3)),
+                                None => fixed(c.profit, 2),
+                            })
+                    })
+                    .collect()
+            })
+            .collect();
+        render_pivot("scenario", &scenarios, &policies, &cells)
+    }
+}
+
+/// Runs the scenario × policy sweep.
+///
+/// Scenario units are sharded across `opts.threads` scoped threads; any
+/// leftover budget goes to the within-market component shards. Results are
+/// merged by `(scenario, policy)` index, so the report's cells (and its
+/// canonical serialisation) are **byte-identical for every thread count**.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_bench::{run_sweep, PolicySpec, Scenario, SweepOptions};
+///
+/// let report = run_sweep(
+///     &Scenario::tiny_catalog()[..1],
+///     &[PolicySpec::Greedy, PolicySpec::Nearest],
+///     SweepOptions { threads: 2, compute_bound: false },
+/// );
+/// assert_eq!(report.cells.len(), 2);
+/// assert_eq!(report.cells[0].policy, "greedy");
+/// ```
+#[must_use]
+pub fn run_sweep(
+    scenarios: &[Scenario],
+    policies: &[PolicySpec],
+    opts: SweepOptions,
+) -> SweepReport {
+    let threads = opts.threads.max(1);
+    // Split the budget: outer shards over scenarios; if scenarios are
+    // scarcer than threads, components soak up the rest. The floor split
+    // keeps outer × inner within the budget, and any split yields
+    // identical results — this only balances wall-time.
+    let inner_threads = (threads / scenarios.len().max(1)).max(1);
+
+    let units: Vec<Scenario> = scenarios.to_vec();
+    let mut rows = map_sharded(units, threads, |scenario| {
+        let market = scenario.build_market();
+        // One decomposition serves the bound and every sharded policy run.
+        let components = disjoint_components_sharded(&market, inner_threads);
+        let bound = opts.compute_bound.then(|| {
+            components_upper_bound(
+                &components,
+                Objective::Profit,
+                UpperBoundOptions::default(),
+                inner_threads,
+            )
+            .expect("column generation on a catalog market")
+            .bound
+        });
+        policies
+            .iter()
+            .map(|p| {
+                let start = Instant::now();
+                let (profit, served) = p.run_with(&market, Some(&components), inner_threads);
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                SweepCell {
+                    scenario: scenario.name.to_string(),
+                    policy: p.label(),
+                    tasks: market.num_tasks(),
+                    drivers: market.num_drivers(),
+                    served,
+                    profit,
+                    ratio: bound.and_then(|b| (b > 0.0).then(|| profit / b)),
+                    wall_ms,
+                }
+            })
+            .collect::<Vec<SweepCell>>()
+    });
+
+    SweepReport {
+        cells: rows.drain(..).flatten().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_two() -> Vec<Scenario> {
+        Scenario::tiny_catalog().into_iter().take(2).collect()
+    }
+
+    #[test]
+    fn report_shape_matches_matrix() {
+        let scenarios = tiny_two();
+        let policies = [PolicySpec::Greedy, PolicySpec::Nearest];
+        let r = run_sweep(
+            &scenarios,
+            &policies,
+            SweepOptions {
+                threads: 1,
+                compute_bound: false,
+            },
+        );
+        assert_eq!(r.cells.len(), 4);
+        assert_eq!(r.cells[0].scenario, scenarios[0].name);
+        assert_eq!(r.cells[1].policy, "nearest");
+        assert_eq!(r.cells[2].scenario, scenarios[1].name);
+        for c in &r.cells {
+            assert!(c.served <= c.tasks);
+            assert!(c.ratio.is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        let scenarios = tiny_two();
+        let policies = [
+            PolicySpec::Greedy,
+            PolicySpec::MaxMargin,
+            PolicySpec::Batched(TimeDelta::from_mins(2)),
+        ];
+        let seq = run_sweep(
+            &scenarios,
+            &policies,
+            SweepOptions {
+                threads: 1,
+                compute_bound: true,
+            },
+        );
+        let par = run_sweep(
+            &scenarios,
+            &policies,
+            SweepOptions {
+                threads: 4,
+                compute_bound: true,
+            },
+        );
+        assert_eq!(seq.to_json(false), par.to_json(false));
+        assert_eq!(seq.to_csv(false), par.to_csv(false));
+    }
+
+    #[test]
+    fn ratio_uses_the_bound_denominator() {
+        let scenarios: Vec<Scenario> = Scenario::tiny_catalog()
+            .into_iter()
+            .filter(|s| s.name == "tightness-d4")
+            .collect();
+        let r = run_sweep(
+            &scenarios,
+            &[PolicySpec::Greedy],
+            SweepOptions {
+                threads: 1,
+                compute_bound: true,
+            },
+        );
+        let cell = &r.cells[0];
+        let ratio = cell.ratio.expect("bound computed");
+        // Fig. 2 at D=4, ε=0.05: greedy earns 1, Z_f* ≥ (D+1)(1−ε) = 4.75.
+        assert!((cell.profit - 1.0).abs() < 1e-6, "profit {}", cell.profit);
+        assert!(ratio <= 1.0 / 4.75 + 1e-3, "ratio {ratio} not tight");
+        assert!(ratio > 0.0);
+    }
+
+    #[test]
+    fn serialisations_are_well_formed() {
+        let r = run_sweep(
+            &tiny_two()[..1],
+            &[PolicySpec::Greedy, PolicySpec::Random],
+            SweepOptions {
+                threads: 1,
+                compute_bound: false,
+            },
+        );
+        let json = r.to_json(true);
+        assert!(json.contains("\"schema\": \"rideshare-sweep/1\""));
+        assert!(json.contains("\"wall_ms\""));
+        assert!(!r.to_json(false).contains("wall_ms"));
+        let csv = r.to_csv(false);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("scenario,policy,"));
+        let table = r.render();
+        assert!(table.contains("greedy") && table.contains("random"));
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for p in [
+            PolicySpec::Greedy,
+            PolicySpec::MaxMargin,
+            PolicySpec::Nearest,
+            PolicySpec::Random,
+            PolicySpec::Batched(TimeDelta::from_mins(5)),
+            PolicySpec::Batched(TimeDelta::from_secs(90)),
+        ] {
+            assert_eq!(PolicySpec::parse(&p.label()), Some(p));
+        }
+        // Distinct sub-minute windows get distinct labels.
+        assert_eq!(
+            PolicySpec::Batched(TimeDelta::from_secs(150)).label(),
+            "batch-150s"
+        );
+        assert_eq!(
+            PolicySpec::Batched(TimeDelta::from_secs(180)).label(),
+            "batch-3m"
+        );
+        assert_eq!(PolicySpec::parse("margin"), Some(PolicySpec::MaxMargin));
+        assert!(PolicySpec::parse("batch-xm").is_none());
+        assert!(PolicySpec::parse("no-such").is_none());
+    }
+}

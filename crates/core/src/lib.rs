@@ -61,6 +61,10 @@ pub use assignment::{Assignment, DriverRoute};
 pub use exact::{solve_exact, ExactOptions, ExactOutcome};
 pub use greedy::{solve_greedy, GreedyOutcome};
 pub use market::{ChainEdge, Driver, Market, MarketBuildOptions, Objective, Task};
+pub use partition::{
+    components_upper_bound, disjoint_components, disjoint_components_sharded, sharded_upper_bound,
+    solve_components, solve_sharded, SubMarket,
+};
 pub use summary::MarketSummary;
 pub use upper_bound::{lp_upper_bound, performance_ratio, UpperBoundOptions, UpperBoundResult};
 pub use view::{BestPath, DriverView};

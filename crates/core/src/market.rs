@@ -156,6 +156,9 @@ pub struct Market {
     /// Task indices sorted by completion deadline — a topological order of
     /// every chain arc (an arc implies `t̄⁺ₘ ≤ t̄⁻ₘ' < t̄⁺ₘ'`).
     topo: Vec<u32>,
+    /// The arc-pruning cap the chain was built with, kept so derived
+    /// sub-markets (partitions, disjoint components) rebuild identical arcs.
+    max_chain_wait: Option<TimeDelta>,
 }
 
 impl Market {
@@ -179,6 +182,7 @@ impl Market {
             speed,
             chain,
             topo,
+            max_chain_wait,
         }
     }
 
@@ -261,6 +265,13 @@ impl Market {
     #[must_use]
     pub fn speed(&self) -> SpeedModel {
         self.speed
+    }
+
+    /// The chain-arc idle cap this market was built with (see
+    /// [`MarketBuildOptions::max_chain_wait`]).
+    #[must_use]
+    pub fn max_chain_wait(&self) -> Option<TimeDelta> {
+        self.max_chain_wait
     }
 
     /// Feasible chain successors of task `m` (driver-independent part of

@@ -1,26 +1,39 @@
-//! Geographic partitioning — the paper's distributed-deployment story.
+//! Geographic partitioning and disjoint-component sharding — the paper's
+//! distributed-deployment story.
 //!
 //! §I argues the market "can be partitioned … in city's scale" but warns
 //! that *within* a big city further partitioning is lossy "because the
 //! riders and drivers generally travel across the city". This module makes
-//! both halves of that claim testable:
+//! both halves of that claim testable, and adds the **lossless**
+//! decomposition the lossy grid only approximates:
 //!
 //! - [`partition_market`] splits a market into `k × k` grid-cell
 //!   sub-markets (tasks by pickup cell, drivers by source cell) that can be
 //!   solved independently — the embarrassingly parallel deployment mode,
 //! - [`solve_partitioned`] runs the greedy on every sub-market and merges
 //!   the per-cell assignments into one feasible global assignment,
+//! - [`disjoint_components`] computes the *connected components* of the
+//!   driver–task interaction graph (driver `n` touches task `m` iff `m` is
+//!   a node of `n`'s task map). No feasible path crosses a component
+//!   boundary, so solving each component independently is **exact**, not
+//!   lossy: [`solve_sharded`] reproduces [`solve_greedy`]'s assignment and
+//!   [`sharded_upper_bound`] reproduces `Z_f*`, while both can fan
+//!   components out across OS threads (`std::thread::scope`, no external
+//!   dependencies) with a deterministic index-ordered merge,
 //!
 //! so the *partitioning loss* (global greedy profit vs merged partitioned
-//! profit) is a measurable quantity; the `ablations` experiment binary
-//! reports it.
+//! profit) is a measurable quantity — the `ablations` experiment binary
+//! reports it — while the component shards give a parallel hot path with
+//! zero loss.
 
 use rideshare_geo::GridIndex;
-use rideshare_types::{DriverId, TaskId};
+use rideshare_types::{DriverId, Result, TaskId};
 
 use crate::assignment::Assignment;
 use crate::greedy::solve_greedy;
 use crate::market::{Market, Objective};
+use crate::upper_bound::{lp_upper_bound, UpperBoundOptions, UpperBoundResult};
+use crate::view::DriverView;
 
 /// One grid cell's sub-market, with maps back to global indices.
 #[derive(Clone, Debug)]
@@ -97,12 +110,307 @@ pub fn partition_market(market: &Market, k: u16) -> Vec<SubMarket> {
             tasks.push(t);
         }
         out.push(SubMarket {
-            market: Market::new(drivers, tasks, market.speed(), None),
+            market: Market::new(drivers, tasks, market.speed(), market.max_chain_wait()),
             driver_map: cell_drivers[cell].clone(),
             task_map: cell_tasks[cell].clone(),
         });
     }
     out
+}
+
+/// A disjoint-set forest over `n` elements with path halving.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins, so component identity is
+            // independent of union order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Splits `market` into the connected components of its driver–task
+/// interaction graph: driver `n` and task `m` are joined iff `m` is a node
+/// of `n`'s task map ([`DriverView::is_allowed`]).
+///
+/// Every feasible route lives entirely inside one component — a driver's
+/// path may only visit tasks of her own task map — so, unlike the grid
+/// partition, this decomposition loses nothing: solving components
+/// independently and merging is equivalent to solving globally, for the
+/// greedy *and* for the LP bound.
+///
+/// Components are returned in ascending order of their smallest member
+/// (drivers before tasks), so the output order is deterministic. Drivers
+/// with an empty task map and tasks no driver can serve form trivial
+/// one-sided components; they cannot contribute to any assignment and are
+/// omitted from the output (the merged solution leaves them unassigned,
+/// exactly as the global solver would).
+#[must_use]
+pub fn disjoint_components(market: &Market) -> Vec<SubMarket> {
+    disjoint_components_sharded(market, 1)
+}
+
+/// [`disjoint_components`] with the `O(N·M)` task-map construction pass
+/// (the geometry-heavy part) fanned out across `threads` — the
+/// decomposition itself is identical for every thread count.
+#[must_use]
+pub fn disjoint_components_sharded(market: &Market, threads: usize) -> Vec<SubMarket> {
+    let n = market.num_drivers();
+    let m = market.num_tasks();
+    // Element layout: 0..n are drivers, n..n+m are tasks. The per-driver
+    // reachability scans dominate; shard them, then union sequentially
+    // (cheap, and union order does not affect the result).
+    let allowed: Vec<Vec<usize>> = map_sharded((0..n).collect(), threads, |d| {
+        let view = DriverView::new(market, d);
+        (0..m).filter(|&t| view.is_allowed(t)).collect()
+    });
+    let mut uf = UnionFind::new(n + m);
+    for (d, tasks) in allowed.iter().enumerate() {
+        for &t in tasks {
+            uf.union(d, n + t);
+        }
+    }
+
+    // Group members by root, preserving the driver-then-task global order.
+    let mut root_slot: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut drivers_of: Vec<Vec<usize>> = Vec::new();
+    let mut tasks_of: Vec<Vec<usize>> = Vec::new();
+    for d in 0..n {
+        let r = uf.find(d);
+        let slot = *root_slot.entry(r).or_insert_with(|| {
+            drivers_of.push(Vec::new());
+            tasks_of.push(Vec::new());
+            drivers_of.len() - 1
+        });
+        drivers_of[slot].push(d);
+    }
+    for t in 0..m {
+        let r = uf.find(n + t);
+        let slot = *root_slot.entry(r).or_insert_with(|| {
+            drivers_of.push(Vec::new());
+            tasks_of.push(Vec::new());
+            drivers_of.len() - 1
+        });
+        tasks_of[slot].push(t);
+    }
+
+    let mut out = Vec::new();
+    for (driver_map, task_map) in drivers_of.into_iter().zip(tasks_of) {
+        // One-sided components cannot produce assignments.
+        if driver_map.is_empty() || task_map.is_empty() {
+            continue;
+        }
+        let mut drivers = Vec::with_capacity(driver_map.len());
+        for (local, &g) in driver_map.iter().enumerate() {
+            let mut d = market.drivers()[g];
+            d.id = DriverId::new(local as u32);
+            drivers.push(d);
+        }
+        let mut tasks = Vec::with_capacity(task_map.len());
+        for (local, &g) in task_map.iter().enumerate() {
+            let mut t = market.tasks()[g];
+            t.id = TaskId::new(local as u32);
+            tasks.push(t);
+        }
+        out.push(SubMarket {
+            market: Market::new(drivers, tasks, market.speed(), market.max_chain_wait()),
+            driver_map,
+            task_map,
+        });
+    }
+    out
+}
+
+/// Runs `f` over `items`, fanning contiguous chunks out across up to
+/// `threads` scoped OS threads and returning the results in input order.
+///
+/// With `threads <= 1` (or a single item) everything runs inline on the
+/// caller's thread. The output is identical for every thread count: each
+/// item is processed independently and results are merged by index. This
+/// is the deterministic fan-out primitive behind [`solve_sharded`],
+/// [`sharded_upper_bound`], and the scenario sweep engine.
+pub fn map_sharded<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Contiguous chunks of near-equal size, one per thread.
+    let len = items.len();
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let c: Vec<T> = iter.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        // Joining in spawn order keeps the merge deterministic.
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    })
+}
+
+/// Solves the market exactly as [`solve_greedy`] would, but per disjoint
+/// component, optionally in parallel, and merges the per-component routes
+/// into one global assignment.
+///
+/// Within a component the greedy sees the same task maps, the same chain
+/// arcs, and the same tie-breaking order as the global solver (component
+/// extraction preserves relative driver/task order), and no path crosses a
+/// component boundary — so the merged assignment **equals** the global
+/// greedy's assignment, for every `threads` value. This is the lossless
+/// parallel counterpart of the lossy [`solve_partitioned`].
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_core::{partition::solve_sharded, solve_greedy, Market, MarketBuildOptions, Objective};
+/// use rideshare_trace::{DriverModel, TraceConfig};
+///
+/// let trace = TraceConfig::porto()
+///     .with_seed(9)
+///     .with_task_count(100)
+///     .with_driver_count(12, DriverModel::Hitchhiking)
+///     .generate();
+/// let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+/// let sharded = solve_sharded(&market, Objective::Profit, 4);
+/// let global = solve_greedy(&market, Objective::Profit);
+/// assert_eq!(sharded, global.assignment);
+/// ```
+#[must_use]
+pub fn solve_sharded(market: &Market, objective: Objective, threads: usize) -> Assignment {
+    solve_components(
+        market,
+        &disjoint_components_sharded(market, threads),
+        objective,
+        threads,
+    )
+}
+
+/// [`solve_sharded`] with precomputed components, for callers that reuse
+/// one [`disjoint_components`] decomposition across several solves (e.g.
+/// the sweep engine solves the greedy *and* the LP bound per scenario).
+#[must_use]
+pub fn solve_components(
+    market: &Market,
+    components: &[SubMarket],
+    objective: Objective,
+    threads: usize,
+) -> Assignment {
+    let solved = map_sharded(components.iter().collect(), threads, |sub: &SubMarket| {
+        solve_greedy(&sub.market, objective).assignment
+    });
+    let mut merged = Assignment::empty(market.num_drivers());
+    for (sub, local) in components.iter().zip(solved) {
+        for (local_d, route) in local.routes().iter().enumerate() {
+            if route.tasks.is_empty() {
+                continue;
+            }
+            let global_driver = DriverId::new(sub.driver_map[local_d] as u32);
+            let tasks: Vec<TaskId> = route
+                .tasks
+                .iter()
+                .map(|t| TaskId::new(sub.task_map[t.index()] as u32))
+                .collect();
+            merged.set_route(global_driver, tasks);
+        }
+    }
+    merged
+}
+
+/// Computes the LP upper bound `Z_f*` per disjoint component, optionally in
+/// parallel, and aggregates: the path LP is separable across components
+/// (no column spans two), so the sum of per-component bounds *is* the
+/// global bound.
+///
+/// The aggregate reports the summed bound and master objective, the
+/// maximum round count, the total column count, and convergence iff every
+/// component converged.
+///
+/// # Errors
+///
+/// Propagates the first component's LP failure, exactly as the global
+/// [`lp_upper_bound`] would surface it.
+pub fn sharded_upper_bound(
+    market: &Market,
+    objective: Objective,
+    opts: UpperBoundOptions,
+    threads: usize,
+) -> Result<UpperBoundResult> {
+    components_upper_bound(
+        &disjoint_components_sharded(market, threads),
+        objective,
+        opts,
+        threads,
+    )
+}
+
+/// [`sharded_upper_bound`] with precomputed components (see
+/// [`solve_components`]).
+///
+/// # Errors
+///
+/// Propagates the first component's LP failure.
+pub fn components_upper_bound(
+    components: &[SubMarket],
+    objective: Objective,
+    opts: UpperBoundOptions,
+    threads: usize,
+) -> Result<UpperBoundResult> {
+    let results = map_sharded(components.iter().collect(), threads, |sub: &SubMarket| {
+        lp_upper_bound(&sub.market, objective, opts)
+    });
+    let mut agg = UpperBoundResult {
+        bound: 0.0,
+        master_objective: 0.0,
+        rounds: 0,
+        columns: 0,
+        converged: true,
+    };
+    for r in results {
+        let r = r?;
+        agg.bound += r.bound;
+        agg.master_objective += r.master_objective;
+        agg.rounds = agg.rounds.max(r.rounds);
+        agg.columns += r.columns;
+        agg.converged &= r.converged;
+    }
+    Ok(agg)
 }
 
 /// Solves every sub-market with the greedy GA and merges the results into
@@ -231,5 +539,101 @@ mod tests {
         assert!(partition_market(&m, 4).is_empty());
         let a = solve_partitioned(&m, 4, Objective::Profit);
         assert_eq!(a.routes().len(), 0);
+    }
+
+    #[test]
+    fn components_cover_each_element_at_most_once() {
+        let m = market(85, 180, 25);
+        let comps = disjoint_components(&m);
+        let mut seen_d = vec![false; m.num_drivers()];
+        let mut seen_t = vec![false; m.num_tasks()];
+        for sub in &comps {
+            assert!(!sub.driver_map.is_empty() && !sub.task_map.is_empty());
+            for &d in &sub.driver_map {
+                assert!(!seen_d[d], "driver {d} in two components");
+                seen_d[d] = true;
+            }
+            for &t in &sub.task_map {
+                assert!(!seen_t[t], "task {t} in two components");
+                seen_t[t] = true;
+            }
+            // Local order preserves global order (needed for exactness).
+            assert!(sub.driver_map.windows(2).all(|w| w[0] < w[1]));
+            assert!(sub.task_map.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Omitted elements are exactly the one-sided ones: no driver/task
+        // that could interact may be missing.
+        for (d, seen) in seen_d.iter().enumerate() {
+            let view = DriverView::new(&m, d);
+            let has_task = (0..m.num_tasks()).any(|t| view.is_allowed(t));
+            assert_eq!(*seen, has_task, "driver {d} coverage");
+        }
+    }
+
+    #[test]
+    fn sharded_greedy_equals_global_greedy() {
+        for (seed, tasks, drivers) in [(86u64, 120usize, 18usize), (87, 200, 35), (88, 60, 6)] {
+            let m = market(seed, tasks, drivers);
+            let global = solve_greedy(&m, Objective::Profit).assignment;
+            for threads in [1usize, 2, 4] {
+                let sharded = solve_sharded(&m, Objective::Profit, threads);
+                assert_eq!(sharded, global, "seed {seed} threads {threads}");
+            }
+            // Welfare objective too.
+            let gw = solve_greedy(&m, Objective::Welfare).assignment;
+            assert_eq!(solve_sharded(&m, Objective::Welfare, 3), gw);
+        }
+    }
+
+    #[test]
+    fn sharded_bound_matches_global_bound() {
+        let m = market(89, 80, 10);
+        let global = crate::lp_upper_bound(&m, Objective::Profit, Default::default()).unwrap();
+        let sharded = sharded_upper_bound(&m, Objective::Profit, Default::default(), 2).unwrap();
+        assert!(global.converged && sharded.converged);
+        let rel = (global.bound - sharded.bound).abs() / global.bound.max(1.0);
+        assert!(
+            rel < 1e-6,
+            "global {} vs sharded {}",
+            global.bound,
+            sharded.bound
+        );
+    }
+
+    #[test]
+    fn sharded_decomposition_is_thread_count_invariant() {
+        let m = market(90, 140, 20);
+        let seq = disjoint_components(&m);
+        for threads in [2usize, 4, 7] {
+            let par = disjoint_components_sharded(&m, threads);
+            assert_eq!(par.len(), seq.len(), "threads {threads}");
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.driver_map, b.driver_map, "threads {threads}");
+                assert_eq!(a.task_map, b.task_map, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_solve_empty_market() {
+        let m = Market::new(vec![], vec![], rideshare_geo::SpeedModel::urban(), None);
+        assert!(disjoint_components(&m).is_empty());
+        let a = solve_sharded(&m, Objective::Profit, 4);
+        assert_eq!(a.routes().len(), 0);
+        let ub = sharded_upper_bound(&m, Objective::Profit, Default::default(), 4).unwrap();
+        assert_eq!(ub.bound, 0.0);
+        assert!(ub.converged);
+    }
+
+    #[test]
+    fn map_sharded_preserves_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 2).collect();
+        for threads in [1usize, 2, 3, 8, 64] {
+            let got = map_sharded(items.clone(), threads, |x| x * 2);
+            assert_eq!(got, expect, "threads {threads}");
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(map_sharded(empty, 4, |x: usize| x).is_empty());
     }
 }

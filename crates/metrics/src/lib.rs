@@ -38,5 +38,5 @@ mod table;
 mod timeseries;
 
 pub use market_metrics::MarketMetrics;
-pub use table::{render_bars, render_series, render_table, Series};
+pub use table::{render_bars, render_pivot, render_series, render_table, Series};
 pub use timeseries::{HourBucket, HourlyBreakdown};

@@ -126,6 +126,56 @@ pub fn render_series(x_label: &str, series: &[Series]) -> String {
     render_table(&headers, &rows)
 }
 
+/// Renders a row × column matrix (e.g. scenario × policy) as an aligned
+/// table: the first column holds `row_labels` under the `corner` header,
+/// the remaining columns hold `cells`.
+///
+/// # Panics
+///
+/// Panics if `cells` is not `row_labels.len()` rows of
+/// `col_labels.len()` cells each.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_metrics::render_pivot;
+/// let out = render_pivot(
+///     "scenario",
+///     &["porto-day", "delivery"],
+///     &["greedy", "nearest"],
+///     &[vec!["91.2".into(), "55.0".into()], vec!["40.1".into(), "22.9".into()]],
+/// );
+/// assert!(out.contains("porto-day"));
+/// assert_eq!(out.lines().count(), 4); // header + rule + 2 rows
+/// ```
+#[must_use]
+pub fn render_pivot(
+    corner: &str,
+    row_labels: &[&str],
+    col_labels: &[&str],
+    cells: &[Vec<String>],
+) -> String {
+    assert_eq!(
+        cells.len(),
+        row_labels.len(),
+        "{} cell rows for {} row labels",
+        cells.len(),
+        row_labels.len()
+    );
+    let mut headers = vec![corner];
+    headers.extend(col_labels);
+    let rows: Vec<Vec<String>> = row_labels
+        .iter()
+        .zip(cells)
+        .map(|(label, row)| {
+            let mut r = vec![(*label).to_string()];
+            r.extend(row.iter().cloned());
+            r
+        })
+        .collect();
+    render_table(&headers, &rows)
+}
+
 fn format_num(v: f64) -> String {
     if (v - v.round()).abs() < 1e-9 && v.abs() < 1e9 {
         format!("{}", v.round() as i64)
@@ -218,6 +268,26 @@ mod tests {
     #[should_panic(expected = "row 0 has")]
     fn mismatched_row_rejected() {
         let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn pivot_prefixes_row_labels() {
+        let out = render_pivot(
+            "scenario",
+            &["a", "b"],
+            &["p1", "p2"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("scenario") && lines[0].contains("p2"));
+        assert!(lines[2].contains('a') && lines[2].contains('2'));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell rows for")]
+    fn pivot_row_count_mismatch_rejected() {
+        let _ = render_pivot("x", &["a"], &["p"], &[]);
     }
 
     #[test]

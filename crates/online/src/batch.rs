@@ -13,7 +13,10 @@
 //! commits the *(driver, task)* pair with the maximum marginal value
 //! (Eq. 14), updating the driver's projected position between picks — a
 //! greedy matching on the batch graph. With `W = 0` it degenerates to
-//! maxMargin; with `W = ∞` (one batch) it is an online-feasible cousin of
+//! maxMargin — exactly so when publish times are distinct (a zero window
+//! still merges same-instant ties into one joint batch), a claim the
+//! facade's `batch_properties` suite tests as a property over random
+//! traces. With `W = ∞` (one batch) it is an online-feasible cousin of
 //! the offline greedy.
 //!
 //! Orders are still honoured within their own deadlines: a task is only

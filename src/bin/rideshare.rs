@@ -7,7 +7,9 @@
 //! - `summary` — structural statistics of a market loaded from CSVs,
 //! - `solve` — run the offline greedy (Alg. 1) on CSVs and print routes,
 //! - `simulate` — replay the order stream online (Alg. 3 or 4),
-//! - `bound` — compute the LP upper bound `Z_f*`.
+//! - `bound` — compute the LP upper bound `Z_f*`,
+//! - `sweep` — run the scenario × policy matrix through the parallel
+//!   sharded sweep engine and emit a JSON/CSV report.
 //!
 //! Examples:
 //!
@@ -17,6 +19,7 @@
 //! rideshare solve    --dir /tmp/day
 //! rideshare simulate --dir /tmp/day --policy nearest
 //! rideshare bound    --dir /tmp/day
+//! rideshare sweep    --scenarios all --threads 8 --json report.json
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -40,6 +43,7 @@ fn main() -> ExitCode {
         "solve" => with_market(&args[1..], solve),
         "simulate" => with_market(&args[1..], |market| simulate(&args[1..], market)),
         "bound" => with_market(&args[1..], bound),
+        "sweep" => sweep(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -65,8 +69,15 @@ USAGE:
   rideshare solve    --dir DIR            (offline greedy, Alg. 1)
   rideshare simulate --dir DIR [--policy margin|nearest]   (Algs. 3-4)
   rideshare bound    --dir DIR            (LP upper bound Z_f*)
+  rideshare sweep    [--scenarios all|tiny|a,b,…] [--policies p,q,…]
+                     [--threads N] [--no-bound] [--canonical]
+                     [--json PATH] [--csv PATH]
+                     (scenario × policy matrix, parallel sharded)
 
-DIR holds trips.csv and drivers.csv as written by `generate`.";
+DIR holds trips.csv and drivers.csv as written by `generate`.
+`sweep --scenarios list` prints the catalog. Policies: greedy, maxMargin,
+nearest, random, batch-<M>m. --canonical omits wall-times so reports are
+byte-identical across thread counts (the CI snapshot form).";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -184,6 +195,70 @@ fn simulate(args: &[String], market: Market) -> Result<(), String> {
             "        mean wait {wait:.1} min, deadhead {:.1} km, {cands:.1} candidates/dispatch",
             result.total_deadhead_km(),
         );
+    }
+    Ok(())
+}
+
+fn sweep(args: &[String]) -> Result<(), String> {
+    use rideshare::bench::{run_sweep, PolicySpec, Scenario, SweepOptions};
+
+    let scenario_arg = flag_value(args, "--scenarios").unwrap_or("all");
+    if scenario_arg == "list" {
+        for s in Scenario::catalog() {
+            println!("{:<14} {}", s.name, s.summary);
+        }
+        return Ok(());
+    }
+    let scenarios: Vec<Scenario> = match scenario_arg {
+        "all" => Scenario::catalog(),
+        "tiny" => Scenario::tiny_catalog(),
+        names => names
+            .split(',')
+            .map(|n| {
+                Scenario::by_name(n.trim())
+                    .ok_or_else(|| format!("unknown scenario '{n}' (try --scenarios list)"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let policies: Vec<PolicySpec> = match flag_value(args, "--policies") {
+        None => PolicySpec::default_set(),
+        Some(names) => names
+            .split(',')
+            .map(|n| PolicySpec::parse(n.trim()).ok_or_else(|| format!("unknown policy '{n}'")))
+            .collect::<Result<_, _>>()?,
+    };
+    let threads: usize = match flag_value(args, "--threads") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value '{v}' for --threads"))?,
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    };
+    let opts = SweepOptions {
+        threads,
+        compute_bound: !args.iter().any(|a| a == "--no-bound"),
+    };
+    let with_timing = !args.iter().any(|a| a == "--canonical");
+
+    let start = std::time::Instant::now();
+    let report = run_sweep(&scenarios, &policies, opts);
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!("{}", report.render());
+    println!(
+        "{} cells ({} scenarios × {} policies) on {threads} thread(s) in {elapsed:.2}s",
+        report.cells.len(),
+        scenarios.len(),
+        policies.len(),
+    );
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, report.to_json(with_timing))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--csv") {
+        std::fs::write(path, report.to_csv(with_timing))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
     }
     Ok(())
 }

@@ -17,6 +17,7 @@
 //! | [`core`] | `rideshare-core` | the market model, task maps, GA, `Z_f*`, exact ILP, Fig. 2 |
 //! | [`online`] | `rideshare-online` | the online simulator, Nearest & maxMargin dispatch |
 //! | [`metrics`] | `rideshare-metrics` | evaluation metrics and table rendering |
+//! | [`bench`](mod@bench) | `rideshare-bench` | scenario catalog, parallel sharded sweep engine, figure harness |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@
 
 // Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
+pub use rideshare_bench as bench;
 pub use rideshare_core as core;
 pub use rideshare_geo as geo;
 pub use rideshare_graph as graph;
@@ -58,10 +60,11 @@ pub use rideshare_types as types;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
+    pub use rideshare_bench::{run_sweep, PolicySpec, Scenario, SweepOptions, SweepReport};
     pub use rideshare_core::{
-        lp_upper_bound, performance_ratio, solve_exact, solve_greedy, Assignment, Driver,
-        DriverRoute, DriverView, ExactOptions, Market, MarketBuildOptions, Objective, Task,
-        UpperBoundOptions,
+        disjoint_components, lp_upper_bound, performance_ratio, sharded_upper_bound, solve_exact,
+        solve_greedy, solve_sharded, Assignment, Driver, DriverRoute, DriverView, ExactOptions,
+        Market, MarketBuildOptions, Objective, Task, UpperBoundOptions,
     };
     pub use rideshare_geo::{BoundingBox, GeoPoint, SpeedModel};
     pub use rideshare_metrics::{render_series, render_table, MarketMetrics, Series};

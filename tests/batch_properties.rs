@@ -1,0 +1,101 @@
+//! Property tests for the batched dispatcher (`run_batched`).
+//!
+//! Two doc claims of `rideshare-online`'s `batch` module become executable
+//! here:
+//!
+//! 1. every hold window `W ≥ 0` yields a `validate_online`-clean
+//!    assignment with full task accounting, and
+//! 2. with `W = 0` and distinct publish times (a zero window still batches
+//!    same-instant ties), the batched dispatcher degenerates to the
+//!    per-task maxMargin simulator exactly — same dispatch vector, same
+//!    profit.
+
+use proptest::prelude::*;
+
+use rideshare::online::run_batched;
+use rideshare::prelude::*;
+
+fn porto_market(seed: u64, tasks: usize, drivers: usize, hitch: bool) -> Market {
+    let model = if hitch {
+        DriverModel::Hitchhiking
+    } else {
+        DriverModel::HomeWorkHome
+    };
+    let trace = TraceConfig::porto()
+        .with_seed(seed)
+        .with_task_count(tasks)
+        .with_driver_count(drivers, model)
+        .generate();
+    Market::from_trace(&trace, &MarketBuildOptions::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn every_window_is_online_feasible(
+        seed in 0u64..10_000,
+        tasks in 1usize..60,
+        drivers in 0usize..8,
+        hitch in any::<bool>(),
+        window_mins in 0i64..40,
+    ) {
+        let market = porto_market(seed, tasks, drivers, hitch);
+        let r = run_batched(&market, TimeDelta::from_mins(window_mins));
+        prop_assert!(validate_online(&market, &r.assignment).is_ok());
+        prop_assert_eq!(r.served + r.rejected, market.num_tasks());
+        prop_assert_eq!(r.served, r.assignment.served_count());
+        prop_assert_eq!(
+            r.dispatch.iter().filter(|d| d.is_some()).count(),
+            r.served
+        );
+        // Batching may only delay a pickup by at most its own window plus
+        // travel; waits stay non-negative in all cases.
+        for e in &r.events {
+            prop_assert!(e.wait.is_non_negative());
+        }
+    }
+
+    #[test]
+    fn zero_window_degenerates_to_max_margin(
+        seed in 0u64..10_000,
+        tasks in 1usize..60,
+        drivers in 0usize..8,
+        hitch in any::<bool>(),
+    ) {
+        let market = porto_market(seed, tasks, drivers, hitch);
+        // A zero window still merges same-second publishes into one batch,
+        // where joint greedy matching may legitimately differ from
+        // task-at-a-time dispatch — the doc claim is about the tie-free
+        // case, so skip markets with publish-time collisions.
+        let mut publishes: Vec<_> = market.tasks().iter().map(|t| t.publish_time).collect();
+        publishes.sort();
+        let distinct = publishes.windows(2).all(|w| w[0] != w[1]);
+        if distinct {
+            let batched = run_batched(&market, TimeDelta::ZERO);
+            let instant = Simulator::new(&market)
+                .run(&mut MaxMargin::new(), SimulationOptions::default());
+            prop_assert_eq!(&batched.dispatch, &instant.dispatch);
+            prop_assert_eq!(batched.served, instant.served);
+            prop_assert_eq!(batched.rejected, instant.rejected);
+            let pb = batched.total_profit(&market);
+            let pi = instant.total_profit(&market);
+            prop_assert!(pb.approx_eq(pi), "batched {pb} vs instant {pi}");
+        }
+    }
+
+    #[test]
+    fn wider_windows_never_lose_feasibility(
+        seed in 0u64..5_000,
+        tasks in 1usize..50,
+        drivers in 1usize..8,
+    ) {
+        // Monotonicity is not guaranteed for profit, but feasibility and
+        // accounting must hold across the whole window sweep of one market.
+        let market = porto_market(seed, tasks, drivers, true);
+        for mins in [0i64, 1, 5, 15, 60] {
+            let r = run_batched(&market, TimeDelta::from_mins(mins));
+            prop_assert!(validate_online(&market, &r.assignment).is_ok(), "W = {mins}m");
+            prop_assert_eq!(r.served + r.rejected, market.num_tasks());
+        }
+    }
+}

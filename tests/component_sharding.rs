@@ -1,0 +1,131 @@
+//! Oracle tests for the lossless disjoint-component decomposition: solving
+//! per component and merging must equal solving the whole market — for the
+//! greedy *and* for the LP upper bound — across workload shapes and thread
+//! counts.
+
+use proptest::prelude::*;
+
+use rideshare::core::partition::map_sharded;
+use rideshare::prelude::*;
+
+#[test]
+fn sharded_greedy_equals_global_on_every_catalog_preset() {
+    // The catalog spans rides, deliveries, surge, and the adversarial
+    // family — the merged sharded assignment must be *identical* (not just
+    // equal in value) on each, for both objectives and several fan-outs.
+    for scenario in Scenario::tiny_catalog() {
+        let market = scenario.build_market();
+        for objective in [Objective::Profit, Objective::Welfare] {
+            let global = solve_greedy(&market, objective).assignment;
+            for threads in [1usize, 2, 5] {
+                let sharded = solve_sharded(&market, objective, threads);
+                assert_eq!(
+                    sharded, global,
+                    "{} diverged ({objective:?}, {threads} threads)",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_component_bounds_sum_to_the_global_bound() {
+    // Z_f* separates across components: no path column spans two, so the
+    // sum of per-component optima is the global optimum (up to solver
+    // tolerance on converged instances).
+    for scenario in Scenario::tiny_catalog() {
+        let market = scenario.build_market();
+        let global = lp_upper_bound(&market, Objective::Profit, UpperBoundOptions::default())
+            .expect("global bound");
+        let sharded =
+            sharded_upper_bound(&market, Objective::Profit, UpperBoundOptions::default(), 2)
+                .expect("sharded bound");
+        assert!(
+            global.converged,
+            "{}: global did not converge",
+            scenario.name
+        );
+        assert!(
+            sharded.converged,
+            "{}: a component did not converge",
+            scenario.name
+        );
+        let rel = (global.bound - sharded.bound).abs() / global.bound.abs().max(1.0);
+        assert!(
+            rel < 1e-6,
+            "{}: global {} vs component sum {}",
+            scenario.name,
+            global.bound,
+            sharded.bound
+        );
+    }
+}
+
+#[test]
+fn components_partition_the_interacting_market() {
+    let market = Scenario::by_name("tiny-rides").unwrap().build_market();
+    let comps = disjoint_components(&market);
+    assert!(!comps.is_empty());
+    let mut driver_seen = vec![false; market.num_drivers()];
+    let mut task_seen = vec![false; market.num_tasks()];
+    for sub in &comps {
+        for &d in &sub.driver_map {
+            assert!(!driver_seen[d]);
+            driver_seen[d] = true;
+        }
+        for &t in &sub.task_map {
+            assert!(!task_seen[t]);
+            task_seen[t] = true;
+        }
+        // No cross-component interaction: a driver of this component may
+        // not be able to serve any task of another component.
+        for &d in &sub.driver_map {
+            let view = DriverView::new(&market, d);
+            for (t, seen) in task_seen.iter().enumerate() {
+                if view.is_allowed(t) {
+                    assert!(
+                        sub.task_map.contains(&t) || !seen,
+                        "driver {d} reaches task {t} outside its component"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn sharding_oracle_over_random_markets(
+        seed in 0u64..10_000,
+        tasks in 1usize..70,
+        drivers in 0usize..12,
+        hitch in any::<bool>(),
+        threads in 1usize..6,
+    ) {
+        let model = if hitch { DriverModel::Hitchhiking } else { DriverModel::HomeWorkHome };
+        let trace = TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, model)
+            .generate();
+        let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+        let global = solve_greedy(&market, Objective::Profit).assignment;
+        let sharded = solve_sharded(&market, Objective::Profit, threads);
+        prop_assert_eq!(&sharded, &global);
+        // The merged assignment is offline-feasible in its own right.
+        prop_assert!(sharded.validate(&market).is_ok());
+    }
+}
+
+#[test]
+fn map_sharded_is_order_preserving_under_contention() {
+    // More shards than items, odd sizes, and non-commutative work.
+    let words: Vec<String> = (0..23).map(|i| format!("w{i}")).collect();
+    let expect: Vec<String> = words.iter().map(|w| format!("{w}!")).collect();
+    for threads in [1usize, 2, 7, 23, 99] {
+        let got = map_sharded(words.clone(), threads, |w| format!("{w}!"));
+        assert_eq!(got, expect, "threads {threads}");
+    }
+}

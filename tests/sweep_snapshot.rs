@@ -1,0 +1,64 @@
+//! Snapshot regression of the sweep report: schema *and* numbers.
+//!
+//! The canonical (timing-free) JSON report of the tiny scenario matrix is
+//! checked in at `tests/snapshots/sweep_tiny.json`; this test re-runs the
+//! sweep and diffs byte-for-byte. CI runs the same matrix through the
+//! `rideshare sweep` binary, so any change to the report schema, the
+//! serialisation, a scenario preset, a policy, or a solver result shows up
+//! as a snapshot diff.
+//!
+//! To accept an intentional change:
+//!
+//! ```sh
+//! UPDATE_SNAPSHOTS=1 cargo test --test sweep_snapshot
+//! ```
+
+use std::path::PathBuf;
+
+use rideshare::prelude::*;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/snapshots/sweep_tiny.json")
+}
+
+/// The exact matrix CI sweeps: tiny catalog × default policy set.
+fn tiny_matrix_report(threads: usize) -> SweepReport {
+    run_sweep(
+        &Scenario::tiny_catalog(),
+        &PolicySpec::default_set(),
+        SweepOptions {
+            threads,
+            compute_bound: true,
+        },
+    )
+}
+
+#[test]
+fn canonical_report_matches_checked_in_snapshot() {
+    let got = tiny_matrix_report(1).to_json(false);
+    let path = snapshot_path();
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&path, &got).expect("rewrite snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    assert_eq!(
+        got,
+        want,
+        "sweep report drifted from {}; rerun with UPDATE_SNAPSHOTS=1 if intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn parallel_run_matches_snapshot_too() {
+    // The acceptance bar: a sharded run must be byte-identical to the
+    // single-threaded run. Compare in-memory (not via the snapshot file:
+    // tests run concurrently, and under UPDATE_SNAPSHOTS the sibling test
+    // rewrites the file mid-run); transitively, via the sibling test, the
+    // parallel run matches the checked-in snapshot as well.
+    let sequential = tiny_matrix_report(1).to_json(false);
+    let parallel = tiny_matrix_report(4).to_json(false);
+    assert_eq!(parallel, sequential, "parallel sweep diverged");
+}
