@@ -1,0 +1,55 @@
+//! Criterion bench for the batch engine: grid-pruned candidate generation
+//! vs the full-driver scan (identical results — see the oracle tests in
+//! `rideshare-online` and `tests/batch_decision_time.rs` — different
+//! asymptotics), and the greedy vs LP-optimal per-batch matcher.
+//!
+//! `porto-large` (1200 tasks, 150 drivers) is the headline case: the batch
+//! inner loop regenerates candidate sets every round, so pruning the
+//! driver scan is where the engine's wall-time goes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rideshare_bench::Scenario;
+use rideshare_online::{run_batched_with, BatchOptions, MatcherKind};
+use rideshare_types::TimeDelta;
+
+fn bench_grid_vs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_candidates");
+    group.sample_size(10);
+    for name in ["porto-day", "porto-large"] {
+        let market = Scenario::by_name(name)
+            .expect("catalog scenario")
+            .build_market();
+        let base = BatchOptions::with_window(TimeDelta::from_mins(3));
+        for (label, opts) in [("scan", base), ("grid", base.grid(true))] {
+            group.bench_with_input(BenchmarkId::new(label, name), &market, |b, m| {
+                b.iter(|| black_box(run_batched_with(m, opts)));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_matchers");
+    group.sample_size(10);
+    let market = Scenario::by_name("porto-day")
+        .expect("catalog scenario")
+        .build_market();
+    for (label, matcher) in [
+        ("greedy", MatcherKind::Greedy),
+        ("optimal", MatcherKind::Optimal),
+    ] {
+        let opts = BatchOptions::with_window(TimeDelta::from_mins(3))
+            .matcher(matcher)
+            .grid(true);
+        group.bench_with_input(BenchmarkId::new(label, "porto-day"), &market, |b, m| {
+            b.iter(|| black_box(run_batched_with(m, opts)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_vs_scan, bench_matchers);
+criterion_main!(benches);

@@ -29,7 +29,8 @@ use rideshare_core::{
 };
 use rideshare_metrics::render_pivot;
 use rideshare_online::{
-    run_batched, MaxMargin, NearestDriver, RandomDispatch, SimulationOptions, Simulator,
+    run_batched_with, BatchOptions, MatcherKind, MaxMargin, NearestDriver, RandomDispatch,
+    SimulationOptions, Simulator,
 };
 use rideshare_types::TimeDelta;
 
@@ -46,13 +47,18 @@ pub enum PolicySpec {
     Nearest,
     /// The uniform-random feasible baseline, seed 0.
     Random,
-    /// Batched dispatch with the given hold window.
+    /// Batched dispatch with the given hold window (greedy pair matcher,
+    /// grid-pruned candidates).
     Batched(TimeDelta),
+    /// Batched dispatch with the given hold window and the per-round
+    /// optimal assignment matcher (grid-pruned candidates).
+    BatchedOptimal(TimeDelta),
 }
 
 impl PolicySpec {
     /// The default policy set for reports: offline reference plus the
-    /// paper's two online heuristics and the batched mode.
+    /// paper's two online heuristics and the batched mode under both
+    /// matchers.
     #[must_use]
     pub fn default_set() -> Vec<PolicySpec> {
         vec![
@@ -60,47 +66,87 @@ impl PolicySpec {
             PolicySpec::MaxMargin,
             PolicySpec::Nearest,
             PolicySpec::Batched(TimeDelta::from_mins(3)),
+            PolicySpec::BatchedOptimal(TimeDelta::from_mins(3)),
         ]
     }
 
-    /// Stable column label: whole-minute windows label as `"batch-3m"`,
-    /// sub-minute ones as `"batch-90s"` so distinct windows never collide.
+    /// The batching study: the instant baselines plus a sweep of the hold
+    /// window `W` under both matchers — the "how much latency buys how much
+    /// matching quality" experiment (`rideshare sweep --policies w-sweep`).
+    #[must_use]
+    pub fn w_sweep_set() -> Vec<PolicySpec> {
+        let mut out = vec![PolicySpec::Greedy, PolicySpec::MaxMargin];
+        for mins in [0i64, 1, 3, 10] {
+            out.push(PolicySpec::Batched(TimeDelta::from_mins(mins)));
+        }
+        for mins in [1i64, 3, 10] {
+            out.push(PolicySpec::BatchedOptimal(TimeDelta::from_mins(mins)));
+        }
+        out
+    }
+
+    /// Stable column label: whole-minute windows label as `"batch-3m"` /
+    /// `"batch-opt-3m"`, sub-minute ones as `"batch-90s"` so distinct
+    /// windows never collide.
     #[must_use]
     pub fn label(&self) -> String {
+        fn window(secs: i64) -> String {
+            if secs % 60 == 0 {
+                format!("{}m", secs / 60)
+            } else {
+                format!("{secs}s")
+            }
+        }
         match self {
             PolicySpec::Greedy => "greedy".into(),
             PolicySpec::MaxMargin => "maxMargin".into(),
             PolicySpec::Nearest => "nearest".into(),
             PolicySpec::Random => "random".into(),
-            PolicySpec::Batched(w) => {
-                let secs = w.as_secs();
-                if secs % 60 == 0 {
-                    format!("batch-{}m", secs / 60)
-                } else {
-                    format!("batch-{secs}s")
-                }
-            }
+            PolicySpec::Batched(w) => format!("batch-{}", window(w.as_secs())),
+            PolicySpec::BatchedOptimal(w) => format!("batch-opt-{}", window(w.as_secs())),
+        }
+    }
+
+    /// The canonical [`BatchOptions`] of a batched policy column (grid
+    /// pruning on — result-neutral, see the oracle tests), or `None` for
+    /// the non-batched policies. The CLI's `simulate --policy batch-…` and
+    /// the sweep engine both dispatch through this, so they can never
+    /// drift apart.
+    #[must_use]
+    pub fn batch_options(&self) -> Option<BatchOptions> {
+        match self {
+            PolicySpec::Batched(w) => Some(BatchOptions::with_window(*w).grid(true)),
+            PolicySpec::BatchedOptimal(w) => Some(
+                BatchOptions::with_window(*w)
+                    .matcher(MatcherKind::Optimal)
+                    .grid(true),
+            ),
+            _ => None,
         }
     }
 
     /// Parses a label as produced by [`PolicySpec::label`].
     #[must_use]
     pub fn parse(label: &str) -> Option<PolicySpec> {
+        fn window(rest: &str) -> Option<TimeDelta> {
+            let w = if let Some(mins) = rest.strip_suffix('m') {
+                TimeDelta::from_mins(mins.parse().ok()?)
+            } else {
+                TimeDelta::from_secs(rest.strip_suffix('s')?.parse().ok()?)
+            };
+            w.is_non_negative().then_some(w)
+        }
         match label {
             "greedy" => Some(PolicySpec::Greedy),
             "maxmargin" | "maxMargin" | "margin" => Some(PolicySpec::MaxMargin),
             "nearest" => Some(PolicySpec::Nearest),
             "random" => Some(PolicySpec::Random),
             _ => {
-                let rest = label.strip_prefix("batch-")?;
-                let window = if let Some(mins) = rest.strip_suffix('m') {
-                    TimeDelta::from_mins(mins.parse().ok()?)
+                if let Some(rest) = label.strip_prefix("batch-opt-") {
+                    Some(PolicySpec::BatchedOptimal(window(rest)?))
                 } else {
-                    TimeDelta::from_secs(rest.strip_suffix('s')?.parse().ok()?)
-                };
-                window
-                    .is_non_negative()
-                    .then_some(PolicySpec::Batched(window))
+                    Some(PolicySpec::Batched(window(label.strip_prefix("batch-")?)?))
+                }
             }
         }
     }
@@ -150,7 +196,10 @@ impl PolicySpec {
                     )
                     .assignment
             }
-            PolicySpec::Batched(w) => run_batched(market, *w).assignment,
+            PolicySpec::Batched(_) | PolicySpec::BatchedOptimal(_) => {
+                let opts = self.batch_options().expect("batched variant");
+                run_batched_with(market, opts).assignment
+            }
         };
         (
             assignment
@@ -508,7 +557,12 @@ mod tests {
             PolicySpec::Random,
             PolicySpec::Batched(TimeDelta::from_mins(5)),
             PolicySpec::Batched(TimeDelta::from_secs(90)),
+            PolicySpec::BatchedOptimal(TimeDelta::from_mins(5)),
+            PolicySpec::BatchedOptimal(TimeDelta::from_secs(90)),
         ] {
+            assert_eq!(PolicySpec::parse(&p.label()), Some(p));
+        }
+        for p in PolicySpec::w_sweep_set() {
             assert_eq!(PolicySpec::parse(&p.label()), Some(p));
         }
         // Distinct sub-minute windows get distinct labels.
@@ -520,8 +574,13 @@ mod tests {
             PolicySpec::Batched(TimeDelta::from_secs(180)).label(),
             "batch-3m"
         );
+        assert_eq!(
+            PolicySpec::BatchedOptimal(TimeDelta::from_secs(180)).label(),
+            "batch-opt-3m"
+        );
         assert_eq!(PolicySpec::parse("margin"), Some(PolicySpec::MaxMargin));
         assert!(PolicySpec::parse("batch-xm").is_none());
+        assert!(PolicySpec::parse("batch-opt-xm").is_none());
         assert!(PolicySpec::parse("no-such").is_none());
     }
 }

@@ -157,11 +157,13 @@ impl<T: Copy + PartialEq> GridIndex<T> {
         }
     }
 
-    /// Iterates over all ids whose stored point lies within `radius_km`
-    /// (haversine) of `center`.
-    ///
-    /// Only the cells overlapping the radius are scanned.
-    pub fn query_radius(&self, center: GeoPoint, radius_km: f64) -> impl Iterator<Item = T> + '_ {
+    /// All `(point, id)` entries in the cells intersecting the `radius_km`
+    /// box around `center`.
+    fn entries_near(
+        &self,
+        center: GeoPoint,
+        radius_km: f64,
+    ) -> impl Iterator<Item = &(GeoPoint, T)> + '_ {
         let cell_h_km = self.bbox.height_km() / f64::from(self.rows);
         let cell_w_km = self.bbox.width_km() / f64::from(self.cols);
         let row_span = if cell_h_km > 0.0 {
@@ -183,8 +185,33 @@ impl<T: Copy + PartialEq> GridIndex<T> {
         (row_lo..=row_hi)
             .flat_map(move |r| (col_lo..=col_hi).map(move |col| CellId::new(r, col)))
             .flat_map(move |cell| self.cells[self.cell_index(cell)].iter())
+    }
+
+    /// Iterates over all ids whose stored point lies within `radius_km`
+    /// (haversine) of `center`.
+    ///
+    /// Only the cells overlapping the radius are scanned.
+    pub fn query_radius(&self, center: GeoPoint, radius_km: f64) -> impl Iterator<Item = T> + '_ {
+        self.entries_near(center, radius_km)
             .filter(move |(p, _)| p.haversine_km(center) <= radius_km)
             .map(|(_, id)| *id)
+    }
+
+    /// Iterates over all ids stored in cells that intersect the
+    /// `radius_km` box around `center` — a cheap **superset** of
+    /// [`GridIndex::query_radius`]: no per-entry distance filter is
+    /// applied, so entries up to a cell-diagonal beyond the radius may be
+    /// yielded.
+    ///
+    /// Use this when the caller re-checks candidates exactly anyway (the
+    /// online dispatcher's feasibility predicate does): skipping the
+    /// haversine filter here avoids computing every distance twice.
+    pub fn query_radius_coarse(
+        &self,
+        center: GeoPoint,
+        radius_km: f64,
+    ) -> impl Iterator<Item = T> + '_ {
+        self.entries_near(center, radius_km).map(|(_, id)| *id)
     }
 
     /// Number of entries currently stored in `cell`.
@@ -299,6 +326,28 @@ mod tests {
                 .collect();
             want.sort_unstable();
             assert_eq!(got, want, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn coarse_query_is_a_superset() {
+        let mut g = test_grid();
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for i in 0..200u32 {
+            g.insert(GeoPoint::new(41.0 + 0.3 * next(), -8.8 + 0.4 * next()), i);
+        }
+        let center = GeoPoint::new(41.15, -8.6);
+        for radius in [0.5, 1.0, 3.0, 10.0, 50.0] {
+            let coarse: Vec<u32> = g.query_radius_coarse(center, radius).collect();
+            for id in g.query_radius(center, radius) {
+                assert!(coarse.contains(&id), "radius {radius}: {id} missing");
+            }
         }
     }
 

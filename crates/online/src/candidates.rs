@@ -1,0 +1,361 @@
+//! Shared candidate generation — step (a) of Algorithms 3–4.
+//!
+//! Both dispatch paths of this crate ask the same question: *given the
+//! drivers' projected states, who can feasibly serve this task if the
+//! dispatch decision is made at time `t`, and at what marginal value
+//! (Eq. 14)?* The per-task [`crate::Simulator`] asks it with `t` equal to
+//! the task's publish time (instant dispatch); the
+//! [`crate::BatchEngine`] asks it with `t` equal to the batch decision
+//! epoch, which may be up to the hold window `W` later. [`CandidateEngine`]
+//! is the single implementation of that question, so the feasibility
+//! predicates and the Eq. 14 marginal value can never drift apart between
+//! the two paths.
+//!
+//! The engine optionally maintains a [`GridIndex`] over the drivers'
+//! projected locations. Radius pruning is *lossless*: a driver departs no
+//! earlier than the decision time, so any driver farther than the speed
+//! model can cover within `pickup_deadline − decision_time` cannot arrive
+//! in time and would be rejected by the arrival check anyway — the grid
+//! only skips work, never changes results (pinned by the oracle tests).
+
+use rideshare_core::Market;
+use rideshare_geo::{GeoPoint, GridIndex};
+use rideshare_types::Timestamp;
+
+use crate::policy::Candidate;
+
+/// Per-driver projected state during a replay (shared by the per-task
+/// simulator and the batch engine).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DriverState {
+    /// Where the driver will next be free.
+    pub(crate) location: GeoPoint,
+    /// When she is free there (actual projected finish, which may precede
+    /// the running task's deadline — the paper's early-finish rule).
+    pub(crate) available_at: Timestamp,
+    /// Tasks served so far (for Eq. 14's `m' = 0` case and diagnostics).
+    pub(crate) tasks_taken: u32,
+}
+
+/// The shared candidate generator: driver states plus an optional spatial
+/// index over their projected locations.
+#[derive(Clone, Debug)]
+pub(crate) struct CandidateEngine<'m> {
+    market: &'m Market,
+    grid: Option<GridIndex<u32>>,
+}
+
+impl<'m> CandidateEngine<'m> {
+    /// Creates the generator and the initial driver states (every driver at
+    /// her source, free from her shift start). With `use_grid` the states
+    /// are also indexed spatially.
+    pub(crate) fn new(market: &'m Market, use_grid: bool) -> (Self, Vec<DriverState>) {
+        let states: Vec<DriverState> = market
+            .drivers()
+            .iter()
+            .map(|d| DriverState {
+                location: d.source,
+                available_at: d.shift_start,
+                tasks_taken: 0,
+            })
+            .collect();
+        let grid = use_grid.then(|| {
+            let mut g = GridIndex::new(market_bbox(market), 16, 16);
+            for (i, s) in states.iter().enumerate() {
+                g.insert(s.location, i as u32);
+            }
+            g
+        });
+        (Self { market, grid }, states)
+    }
+
+    /// Every driver who can feasibly serve `task_idx` when the dispatch
+    /// decision is made at `decision_time`: she can reach the pickup from
+    /// her projected position by the deadline (departing no earlier than
+    /// the decision), can still get home afterwards, and is inside her
+    /// shift. Candidates are returned sorted by driver index, each carrying
+    /// the Eq. 14 marginal value.
+    pub(crate) fn candidates_at(
+        &self,
+        states: &[DriverState],
+        task_idx: usize,
+        decision_time: Timestamp,
+    ) -> Vec<Candidate> {
+        let market = self.market;
+        let task = &market.tasks()[task_idx];
+        if !task.window_feasible() || decision_time > task.pickup_deadline {
+            return Vec::new();
+        }
+
+        let mut out = Vec::new();
+        match &self.grid {
+            Some(g) => {
+                // Any driver farther than the loosest possible travel
+                // budget — she departs no earlier than the decision —
+                // cannot arrive in time. One second of slack keeps the
+                // prune lossless: travel times round to whole seconds, so
+                // a driver fractionally past the exact radius can still
+                // round down into the budget. The coarse query yields a
+                // superset (no per-entry distance filter — `evaluate`
+                // re-checks arrival exactly anyway), so the prune stays
+                // lossless while each distance is computed once instead of
+                // twice.
+                let budget =
+                    task.pickup_deadline - decision_time + rideshare_types::TimeDelta::from_secs(1);
+                let radius = market.speed().reachable_km(budget);
+                for d in g.query_radius_coarse(task.origin, radius) {
+                    out.extend(self.evaluate(states, task_idx, decision_time, d as usize));
+                }
+            }
+            None => {
+                for d in 0..states.len() {
+                    out.extend(self.evaluate(states, task_idx, decision_time, d));
+                }
+            }
+        }
+        out.sort_by_key(|c| c.driver);
+        out
+    }
+
+    /// Evaluates one *(driver, task)* pair under a decision made at
+    /// `decision_time`: `Some(candidate)` iff feasible. This is the exact
+    /// per-pair predicate behind [`CandidateEngine::candidates_at`]; the
+    /// batch engine also probes it directly to refresh only the entries of
+    /// drivers whose state changed.
+    pub(crate) fn candidate_for(
+        &self,
+        states: &[DriverState],
+        task_idx: usize,
+        decision_time: Timestamp,
+        d: usize,
+    ) -> Option<Candidate> {
+        let task = &self.market.tasks()[task_idx];
+        if !task.window_feasible() || decision_time > task.pickup_deadline {
+            return None;
+        }
+        self.evaluate(states, task_idx, decision_time, d)
+    }
+
+    /// The feasibility predicates and Eq. 14 value for one pair (window
+    /// feasibility of the task itself is the caller's precondition).
+    fn evaluate(
+        &self,
+        states: &[DriverState],
+        task_idx: usize,
+        decision_time: Timestamp,
+        d: usize,
+    ) -> Option<Candidate> {
+        let market = self.market;
+        let speed = market.speed();
+        let task = &market.tasks()[task_idx];
+        let driver = &market.drivers()[d];
+        let st = &states[d];
+        // Departure: not before the order exists, the dispatch decision
+        // is made, the driver is free, and her shift has started.
+        let depart = st
+            .available_at
+            .max(task.publish_time)
+            .max(decision_time)
+            .max(driver.shift_start);
+        let to_pickup = speed.travel_time(st.location, task.origin);
+        let arrival = depart + to_pickup;
+        if arrival > task.pickup_deadline {
+            return None;
+        }
+        // Return-home feasibility against the task's completion deadline
+        // (conservative: the driver may finish earlier, but she must be
+        // able to honour the promised window).
+        let back = speed.travel_time(task.destination, driver.destination);
+        if task.completion_deadline + back > driver.shift_end {
+            return None;
+        }
+        // Eq. 14: δₙ,ₘ = pₘ − (cₙ,ₘ,₋₁ + ĉₙ,ₘ + cₙ,ₘ',ₘ − cₙ,ₘ',₋₁).
+        let to_pickup_cost = speed.travel_cost(st.location, task.origin);
+        let new_return = speed.travel_cost(task.destination, driver.destination);
+        let old_return = speed.travel_cost(st.location, driver.destination);
+        let delta = task.price - new_return - task.service_cost - to_pickup_cost + old_return;
+        Some(Candidate {
+            driver: d,
+            arrival,
+            marginal_value: delta.as_f64(),
+        })
+    }
+
+    /// The latest instant a dispatch decision for `task_idx` could still be
+    /// made with some driver reaching the pickup from her current projected
+    /// position, clamped to `[publish_time, cap]` — the batch engine's
+    /// early-flush epoch. A heuristic against the states known when the
+    /// window opens (drivers may still move before the epoch fires), but
+    /// always causally valid: never before publication, never past `cap`.
+    pub(crate) fn latest_decision(
+        &self,
+        states: &[DriverState],
+        task_idx: usize,
+        cap: Timestamp,
+    ) -> Timestamp {
+        let market = self.market;
+        let speed = market.speed();
+        let task = &market.tasks()[task_idx];
+        let mut best = task.publish_time;
+        let mut consider = |d: usize| {
+            let latest = task.pickup_deadline - speed.travel_time(states[d].location, task.origin);
+            if latest > best {
+                best = latest;
+            }
+        };
+        match &self.grid {
+            Some(g) => {
+                // Drivers beyond the publish-time budget have
+                // `pickup_deadline − travel < publish`, which can never
+                // raise `best` above its `publish_time` floor — pruning
+                // them is lossless here too (same 1 s rounding slack).
+                let budget = task.pickup_deadline - task.publish_time
+                    + rideshare_types::TimeDelta::from_secs(1);
+                let radius = speed.reachable_km(budget);
+                for d in g.query_radius_coarse(task.origin, radius) {
+                    consider(d as usize);
+                }
+            }
+            None => {
+                for d in 0..states.len() {
+                    consider(d);
+                }
+            }
+        }
+        best.min(cap)
+    }
+
+    /// Commits a dispatch: projects driver `d` onto the task's destination,
+    /// free at `arrival + duration`, and keeps the spatial index in sync.
+    pub(crate) fn commit(
+        &mut self,
+        states: &mut [DriverState],
+        d: usize,
+        task_idx: usize,
+        arrival: Timestamp,
+    ) {
+        let task = &self.market.tasks()[task_idx];
+        let old_loc = states[d].location;
+        states[d] = DriverState {
+            location: task.destination,
+            available_at: arrival + task.duration,
+            tasks_taken: states[d].tasks_taken + 1,
+        };
+        if let Some(g) = self.grid.as_mut() {
+            g.relocate(old_loc, task.destination, d as u32);
+        }
+    }
+}
+
+/// Covers every driver and task location with a margin; degenerate markets
+/// fall back to a unit box.
+fn market_bbox(market: &Market) -> rideshare_geo::BoundingBox {
+    let mut pts = market
+        .drivers()
+        .iter()
+        .map(|d| d.source)
+        .chain(market.drivers().iter().map(|d| d.destination))
+        .chain(market.tasks().iter().map(|t| t.origin))
+        .chain(market.tasks().iter().map(|t| t.destination));
+    let Some(first) = pts.next() else {
+        return rideshare_geo::BoundingBox::new(0.0, 1.0, 0.0, 1.0);
+    };
+    let (mut lat_lo, mut lat_hi) = (first.lat(), first.lat());
+    let (mut lon_lo, mut lon_hi) = (first.lon(), first.lon());
+    for p in pts {
+        lat_lo = lat_lo.min(p.lat());
+        lat_hi = lat_hi.max(p.lat());
+        lon_lo = lon_lo.min(p.lon());
+        lon_hi = lon_hi.max(p.lon());
+    }
+    rideshare_geo::BoundingBox::new(lat_lo - 0.01, lat_hi + 0.01, lon_lo - 0.01, lon_hi + 0.01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rideshare_core::MarketBuildOptions;
+    use rideshare_trace::{DriverModel, TraceConfig};
+
+    fn market(seed: u64, tasks: usize, drivers: usize) -> Market {
+        let trace = TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, DriverModel::Hitchhiking)
+            .generate();
+        Market::from_trace(&trace, &MarketBuildOptions::default())
+    }
+
+    #[test]
+    fn grid_pruning_is_lossless_at_any_decision_time() {
+        let m = market(71, 60, 25);
+        let (linear, states) = CandidateEngine::new(&m, false);
+        let (grid, _) = CandidateEngine::new(&m, true);
+        for t in 0..m.num_tasks() {
+            let publish = m.tasks()[t].publish_time;
+            for delay_mins in [0i64, 2, 10, 45] {
+                let at = publish + rideshare_types::TimeDelta::from_mins(delay_mins);
+                assert_eq!(
+                    linear.candidates_at(&states, t, at),
+                    grid.candidates_at(&states, t, at),
+                    "task {t} at {at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn later_decisions_never_grow_the_candidate_set() {
+        // A later decision only delays departures, so feasibility shrinks
+        // monotonically (driver states held fixed).
+        let m = market(72, 40, 15);
+        let (engine, states) = CandidateEngine::new(&m, false);
+        for t in 0..m.num_tasks() {
+            let publish = m.tasks()[t].publish_time;
+            let now = engine.candidates_at(&states, t, publish);
+            let later = engine.candidates_at(
+                &states,
+                t,
+                publish + rideshare_types::TimeDelta::from_mins(5),
+            );
+            let now_drivers: Vec<usize> = now.iter().map(|c| c.driver).collect();
+            for c in &later {
+                assert!(now_drivers.contains(&c.driver), "candidate appeared late");
+            }
+        }
+    }
+
+    #[test]
+    fn decision_past_pickup_deadline_is_empty() {
+        let m = market(73, 20, 10);
+        let (engine, states) = CandidateEngine::new(&m, false);
+        for t in 0..m.num_tasks() {
+            let past = m.tasks()[t].pickup_deadline + rideshare_types::TimeDelta::from_secs(1);
+            assert!(engine.candidates_at(&states, t, past).is_empty());
+        }
+    }
+
+    #[test]
+    fn commit_moves_the_driver_and_the_index() {
+        let m = market(74, 30, 6);
+        let (mut engine, mut states) = CandidateEngine::new(&m, true);
+        let task = 0usize;
+        let publish = m.tasks()[task].publish_time;
+        let cands = engine.candidates_at(&states, task, publish);
+        if let Some(c) = cands.first() {
+            engine.commit(&mut states, c.driver, task, c.arrival);
+            assert_eq!(states[c.driver].location, m.tasks()[task].destination);
+            assert_eq!(states[c.driver].tasks_taken, 1);
+            // The index tracked the move: a fresh linear engine over the
+            // mutated states agrees with the grid one.
+            let (linear, _) = CandidateEngine::new(&m, false);
+            for t in 1..m.num_tasks() {
+                let at = m.tasks()[t].publish_time;
+                assert_eq!(
+                    linear.candidates_at(&states, t, at),
+                    engine.candidates_at(&states, t, at)
+                );
+            }
+        }
+    }
+}

@@ -16,8 +16,16 @@
 //! - [`MaxMargin`]: Algorithm 4 — pick the candidate with the largest
 //!   marginal value `δₙ,ₘ` (Eq. 14),
 //! - [`RandomDispatch`]: a uniform-random baseline for ablations,
+//! - [`BatchEngine`]: decision-time-correct batched dispatch — orders are
+//!   held for a window `W`, decided jointly at the window end (or flushed
+//!   early when a pickup deadline would expire), and drivers depart no
+//!   earlier than the decision; matching is pluggable via [`BatchMatcher`]
+//!   ([`GreedyPairMatcher`] and the LP-backed
+//!   [`OptimalAssignmentMatcher`]),
 //! - [`validate_online`]: feasibility checking under *actual* (simulated)
-//!   timing rather than the offline task-map deadlines,
+//!   timing rather than the offline task-map deadlines, and
+//!   [`validate_online_result`]: the same plus the dispatch-causality law
+//!   (no departure may precede its dispatch decision),
 //! - the offline variant of maxMargin (§V-B) via
 //!   [`SimulationOptions::value_sorted`], which processes tasks in
 //!   descending-price order when the whole day is known in advance.
@@ -43,13 +51,17 @@
 // Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod batch;
+mod candidates;
 mod policy;
 mod simulator;
 mod validate;
 
-pub use batch::run_batched;
+pub use batch::{
+    run_batched, run_batched_with, BatchEngine, BatchMatcher, BatchOptions, BatchRound,
+    GreedyPairMatcher, MatcherKind, OptimalAssignmentMatcher,
+};
 pub use policy::{
     Candidate, DispatchPolicy, MaxMargin, NearestDriver, RandomDispatch, WeightedScore,
 };
 pub use simulator::{DispatchEvent, SimulationOptions, SimulationResult, Simulator};
-pub use validate::validate_online;
+pub use validate::{validate_online, validate_online_result};

@@ -2,10 +2,10 @@
 //! Algorithms 3–4).
 
 use rideshare_core::{Assignment, Market, Objective};
-use rideshare_geo::{GeoPoint, GridIndex};
 use rideshare_types::{DriverId, Money, TaskId, Timestamp};
 
-use crate::policy::{Candidate, DispatchPolicy};
+use crate::candidates::CandidateEngine;
+use crate::policy::DispatchPolicy;
 
 /// Options controlling a simulation run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -30,6 +30,12 @@ pub struct DispatchEvent {
     pub driver: DriverId,
     /// When the driver reached the pickup.
     pub arrival: Timestamp,
+    /// When the dispatch decision was made: the task's publish time under
+    /// instant dispatch, the batch decision epoch under
+    /// [`crate::BatchEngine`]. The driver's departure never precedes this
+    /// instant — the causality law [`crate::validate_online_result`]
+    /// enforces.
+    pub decision_time: Timestamp,
     /// Rider wait from order publication to pickup arrival.
     pub wait: rideshare_types::TimeDelta,
     /// Empty kilometres driven to reach the pickup (deadhead).
@@ -108,18 +114,6 @@ impl SimulationResult {
     }
 }
 
-/// Per-driver projected state during the replay.
-#[derive(Clone, Copy, Debug)]
-struct DriverState {
-    /// Where the driver will next be free.
-    location: GeoPoint,
-    /// When she is free there (actual projected finish, which may precede
-    /// the running task's deadline — the paper's early-finish rule).
-    available_at: Timestamp,
-    /// Tasks served so far (for Eq. 14's `m' = 0` case and diagnostics).
-    tasks_taken: u32,
-}
-
 /// The online market simulator.
 ///
 /// Holds a reference to the market; each [`Simulator::run`] replays the
@@ -149,24 +143,8 @@ impl<'m> Simulator<'m> {
         let m = market.num_tasks();
         let speed = market.speed();
 
-        let mut states: Vec<DriverState> = market
-            .drivers()
-            .iter()
-            .map(|d| DriverState {
-                location: d.source,
-                available_at: d.shift_start,
-                tasks_taken: 0,
-            })
-            .collect();
-
-        // Optional spatial index over projected driver locations.
-        let mut grid: Option<GridIndex<u32>> = options.use_grid.then(|| {
-            let mut g = GridIndex::new(market_bbox(market), 16, 16);
-            for (i, s) in states.iter().enumerate() {
-                g.insert(s.location, i as u32);
-            }
-            g
-        });
+        // Shared candidate generator (Eq. 14 + feasibility + optional grid).
+        let (mut engine, mut states) = CandidateEngine::new(market, options.use_grid);
 
         // Arrival order: publish time, or descending price for the offline
         // value-sorted variant.
@@ -192,7 +170,9 @@ impl<'m> Simulator<'m> {
 
         for &ti in &order {
             let task = &market.tasks()[ti];
-            let candidates = self.candidates(&states, grid.as_ref(), ti);
+            // Instant dispatch: the decision is made the moment the order
+            // is published.
+            let candidates = engine.candidates_at(&states, ti, task.publish_time);
             let choice = if candidates.is_empty() {
                 None
             } else {
@@ -203,22 +183,15 @@ impl<'m> Simulator<'m> {
                 Some(k) => {
                     let cand = candidates[k];
                     let d = cand.driver;
-                    let finish = cand.arrival + task.duration;
                     let old_loc = states[d].location;
-                    states[d] = DriverState {
-                        location: task.destination,
-                        available_at: finish,
-                        tasks_taken: states[d].tasks_taken + 1,
-                    };
-                    if let Some(g) = grid.as_mut() {
-                        g.relocate(old_loc, task.destination, d as u32);
-                    }
+                    engine.commit(&mut states, d, ti, cand.arrival);
                     assignment.push_task(DriverId::new(d as u32), TaskId::new(ti as u32));
                     dispatch[ti] = Some(DriverId::new(d as u32));
                     events.push(DispatchEvent {
                         task: TaskId::new(ti as u32),
                         driver: DriverId::new(d as u32),
                         arrival: cand.arrival,
+                        decision_time: task.publish_time,
                         wait: cand.arrival - task.publish_time,
                         deadhead_km: speed.driven_km(old_loc, task.origin),
                         candidates: candidates.len(),
@@ -236,100 +209,6 @@ impl<'m> Simulator<'m> {
             events,
         }
     }
-
-    /// Step (a) of Algorithms 3–4: every driver who can reach the pickup
-    /// from her projected position in time, can still get home afterwards,
-    /// and is inside her shift.
-    fn candidates(
-        &self,
-        states: &[DriverState],
-        grid: Option<&GridIndex<u32>>,
-        task_idx: usize,
-    ) -> Vec<Candidate> {
-        let market = self.market;
-        let speed = market.speed();
-        let task = &market.tasks()[task_idx];
-        if !task.window_feasible() {
-            return Vec::new();
-        }
-
-        let mut out = Vec::new();
-        let mut consider = |d: usize| {
-            let driver = &market.drivers()[d];
-            let st = &states[d];
-            // Departure: not before the order exists, the driver is free,
-            // and her shift has started.
-            let depart = st
-                .available_at
-                .max(task.publish_time)
-                .max(driver.shift_start);
-            let to_pickup = speed.travel_time(st.location, task.origin);
-            let arrival = depart + to_pickup;
-            if arrival > task.pickup_deadline {
-                return;
-            }
-            // Return-home feasibility against the task's completion
-            // deadline (conservative: the driver may finish earlier, but
-            // she must be able to honour the promised window).
-            let back = speed.travel_time(task.destination, driver.destination);
-            if task.completion_deadline + back > driver.shift_end {
-                return;
-            }
-            // Eq. 14: δₙ,ₘ = pₘ − (cₙ,ₘ,₋₁ + ĉₙ,ₘ + cₙ,ₘ',ₘ − cₙ,ₘ',₋₁).
-            let to_pickup_cost = speed.travel_cost(st.location, task.origin);
-            let new_return = speed.travel_cost(task.destination, driver.destination);
-            let old_return = speed.travel_cost(st.location, driver.destination);
-            let delta = task.price - new_return - task.service_cost - to_pickup_cost + old_return;
-            out.push(Candidate {
-                driver: d,
-                arrival,
-                marginal_value: delta.as_f64(),
-            });
-        };
-
-        match grid {
-            Some(g) => {
-                // Any driver farther than the loosest possible travel budget
-                // cannot arrive in time.
-                let budget = task.pickup_deadline - task.publish_time;
-                let radius = speed.reachable_km(budget);
-                for d in g.query_radius(task.origin, radius) {
-                    consider(d as usize);
-                }
-            }
-            None => {
-                for d in 0..states.len() {
-                    consider(d);
-                }
-            }
-        }
-        out.sort_by_key(|c| c.driver);
-        out
-    }
-}
-
-fn market_bbox(market: &Market) -> rideshare_geo::BoundingBox {
-    // Cover every driver and task location with a margin; degenerate
-    // markets fall back to a unit box.
-    let mut pts = market
-        .drivers()
-        .iter()
-        .map(|d| d.source)
-        .chain(market.drivers().iter().map(|d| d.destination))
-        .chain(market.tasks().iter().map(|t| t.origin))
-        .chain(market.tasks().iter().map(|t| t.destination));
-    let Some(first) = pts.next() else {
-        return rideshare_geo::BoundingBox::new(0.0, 1.0, 0.0, 1.0);
-    };
-    let (mut lat_lo, mut lat_hi) = (first.lat(), first.lat());
-    let (mut lon_lo, mut lon_hi) = (first.lon(), first.lon());
-    for p in pts {
-        lat_lo = lat_lo.min(p.lat());
-        lat_hi = lat_hi.max(p.lat());
-        lon_lo = lon_lo.min(p.lon());
-        lon_hi = lon_hi.max(p.lon());
-    }
-    rideshare_geo::BoundingBox::new(lat_lo - 0.01, lat_hi + 0.01, lon_lo - 0.01, lon_hi + 0.01)
 }
 
 #[cfg(test)]
@@ -462,6 +341,10 @@ mod tests {
             assert_eq!(r.dispatch[e.task.index()], Some(e.driver));
             let task = &m.tasks()[e.task.index()];
             assert!(e.arrival <= task.pickup_deadline, "late arrival logged");
+            assert_eq!(
+                e.decision_time, task.publish_time,
+                "instant dispatch decides at publish"
+            );
             assert!(e.wait.is_non_negative(), "negative wait");
             assert!(e.deadhead_km >= 0.0);
             assert!(e.candidates >= 1);

@@ -10,6 +10,8 @@
 use rideshare_core::{Assignment, Market};
 use rideshare_types::{MarketError, Result};
 
+use crate::simulator::{DispatchEvent, SimulationResult};
+
 /// Validates an online assignment by replaying every driver's route with
 /// actual arrival/finish times.
 ///
@@ -81,6 +83,128 @@ pub fn validate_online(market: &Market, assignment: &Assignment) -> Result<()> {
             return Err(MarketError::InfeasibleAssignment {
                 reason: format!("driver#{n} arrives home at {home}, after shift end"),
             });
+        }
+    }
+    Ok(())
+}
+
+/// Validates a full [`SimulationResult`]: route feasibility (as
+/// [`validate_online`]) **plus dispatch causality** — no served task may
+/// have a departure earlier than the instant its dispatch decision could
+/// have been made.
+///
+/// The causality checks, per dispatched event:
+///
+/// - the recorded decision time is no earlier than the task's publication
+///   (a decision cannot precede the order it decides),
+/// - replaying the driver's route with decision-time-correct departures
+///   (`depart = max(free, decision_time)`) reproduces the recorded arrival
+///   exactly — a recorded arrival earlier than that replay means the
+///   driver "departed" before the decision existed (the clairvoyance bug
+///   this validator was built to catch),
+/// - the recorded wait is consistent (`arrival − publish`) and the arrival
+///   meets the pickup deadline,
+/// - served/rejected/dispatch/event accounting all agree.
+///
+/// # Errors
+///
+/// Returns [`MarketError::InfeasibleAssignment`] describing the first
+/// violated condition.
+pub fn validate_online_result(market: &Market, result: &SimulationResult) -> Result<()> {
+    validate_online(market, &result.assignment)?;
+    let infeasible = |reason: String| MarketError::InfeasibleAssignment { reason };
+
+    if result.served + result.rejected != market.num_tasks() {
+        return Err(infeasible(format!(
+            "{} served + {} rejected != {} tasks",
+            result.served,
+            result.rejected,
+            market.num_tasks()
+        )));
+    }
+    if result.events.len() != result.served {
+        return Err(infeasible(format!(
+            "{} events for {} served tasks",
+            result.events.len(),
+            result.served
+        )));
+    }
+    let dispatched = result.dispatch.iter().filter(|d| d.is_some()).count();
+    if dispatched != result.served {
+        return Err(infeasible(format!(
+            "{dispatched} dispatch entries for {} served tasks",
+            result.served
+        )));
+    }
+
+    // Index events by task; each served task carries exactly one event that
+    // agrees with the dispatch vector.
+    let mut by_task: Vec<Option<&DispatchEvent>> = vec![None; market.num_tasks()];
+    for e in &result.events {
+        let m = e.task.index();
+        if m >= market.num_tasks() {
+            return Err(MarketError::UnknownTask(e.task));
+        }
+        if by_task[m].is_some() {
+            return Err(infeasible(format!("duplicate event for {}", e.task)));
+        }
+        if result.dispatch[m] != Some(e.driver) {
+            return Err(infeasible(format!(
+                "event for {} names {}, dispatch vector disagrees",
+                e.task, e.driver
+            )));
+        }
+        by_task[m] = Some(e);
+    }
+
+    let speed = market.speed();
+    for (n, route) in result.assignment.routes().iter().enumerate() {
+        let driver = &market.drivers()[n];
+        let mut loc = driver.source;
+        let mut free_at = driver.shift_start;
+        for t in &route.tasks {
+            let m = t.index();
+            let task = &market.tasks()[m];
+            let Some(e) = by_task[m] else {
+                return Err(infeasible(format!("served task {t} has no event")));
+            };
+            if e.driver.index() != n {
+                return Err(infeasible(format!(
+                    "{t} sits on driver#{n}'s route but its event names {}",
+                    e.driver
+                )));
+            }
+            if e.decision_time < task.publish_time {
+                return Err(infeasible(format!(
+                    "{t} decided at {}, before it was published at {}",
+                    e.decision_time, task.publish_time
+                )));
+            }
+            // Causality: the driver departs no earlier than the decision.
+            let depart = free_at.max(e.decision_time);
+            let arrival = depart + speed.travel_time(loc, task.origin);
+            if e.arrival != arrival {
+                return Err(infeasible(format!(
+                    "driver#{n} records arrival {} at {t}, but departing no \
+                     earlier than the decision at {} she arrives at {arrival} \
+                     (clairvoyant dispatch?)",
+                    e.arrival, e.decision_time
+                )));
+            }
+            if arrival > task.pickup_deadline {
+                return Err(infeasible(format!(
+                    "{t} reached at {arrival}, after deadline {}",
+                    task.pickup_deadline
+                )));
+            }
+            if e.wait != arrival - task.publish_time {
+                return Err(infeasible(format!(
+                    "{t} wait {} inconsistent with arrival {arrival}",
+                    e.wait
+                )));
+            }
+            free_at = arrival + task.duration;
+            loc = task.destination;
         }
     }
     Ok(())
@@ -188,5 +312,78 @@ mod tests {
     fn empty_assignment_always_valid() {
         let market = Market::new(vec![driver(0, 100)], vec![], speed(), None);
         validate_online(&market, &rideshare_core::Assignment::empty(1)).unwrap();
+    }
+
+    /// One driver 1 km west of a single task (60 s of travel), plus a
+    /// hand-rolled result claiming the given decision/arrival times.
+    fn one_task_result(decision: i64, arrival: i64) -> (Market, SimulationResult) {
+        let t0 = Task {
+            origin: pt(1.0),
+            destination: pt(1.0),
+            ..task(0, 1.0, 0, 400, 2000, 60)
+        };
+        let market = Market::new(vec![driver(0, 10_000)], vec![t0], speed(), None);
+        let mut assignment = rideshare_core::Assignment::empty(1);
+        assignment.push_task(DriverId::new(0), TaskId::new(0));
+        let arrival = Timestamp::from_secs(arrival);
+        let result = SimulationResult {
+            assignment,
+            served: 1,
+            rejected: 0,
+            dispatch: vec![Some(DriverId::new(0))],
+            events: vec![DispatchEvent {
+                task: TaskId::new(0),
+                driver: DriverId::new(0),
+                arrival,
+                decision_time: Timestamp::from_secs(decision),
+                wait: arrival - Timestamp::from_secs(0),
+                deadhead_km: 1.0,
+                candidates: 1,
+            }],
+        };
+        (market, result)
+    }
+
+    #[test]
+    fn result_validator_accepts_honest_timing() {
+        // Decision at 300, 60 s of travel → arrival 360.
+        let (market, result) = one_task_result(300, 360);
+        validate_online_result(&market, &result).unwrap();
+    }
+
+    #[test]
+    fn result_validator_rejects_clairvoyant_departure() {
+        // Claimed arrival 60 means the driver departed at 0, before the
+        // decision at 300 existed — the old batch engine's bug.
+        let (market, result) = one_task_result(300, 60);
+        let err = validate_online_result(&market, &result).unwrap_err();
+        assert!(err.to_string().contains("clairvoyant"), "{err}");
+    }
+
+    #[test]
+    fn result_validator_rejects_decision_before_publish() {
+        let (market, result) = one_task_result(-10, 50);
+        let err = validate_online_result(&market, &result).unwrap_err();
+        assert!(err.to_string().contains("before it was published"), "{err}");
+    }
+
+    #[test]
+    fn result_validator_rejects_route_event_driver_mismatch() {
+        // The route puts task 0 on driver 0, but the event and dispatch
+        // vector both claim driver 1 — three representations of "who
+        // served it" must agree.
+        let (market, mut result) = one_task_result(300, 360);
+        result.dispatch[0] = Some(DriverId::new(1));
+        result.events[0].driver = DriverId::new(1);
+        let err = validate_online_result(&market, &result).unwrap_err();
+        assert!(err.to_string().contains("its event names"), "{err}");
+    }
+
+    #[test]
+    fn result_validator_rejects_bad_accounting() {
+        let (market, mut result) = one_task_result(300, 360);
+        result.rejected = 5;
+        let err = validate_online_result(&market, &result).unwrap_err();
+        assert!(err.to_string().contains("rejected"), "{err}");
     }
 }

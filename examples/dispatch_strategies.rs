@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example dispatch_strategies`
 
 use rideshare::metrics::HourlyBreakdown;
-use rideshare::online::run_batched;
+use rideshare::online::{run_batched, run_batched_with, BatchOptions, MatcherKind};
 use rideshare::prelude::*;
 
 fn main() {
@@ -38,8 +38,19 @@ fn main() {
             "batched 10 min",
             run_batched(&market, TimeDelta::from_mins(10)),
         ),
+        (
+            "batched 2 min, optimal",
+            run_batched_with(
+                &market,
+                BatchOptions::with_window(TimeDelta::from_mins(2))
+                    .matcher(MatcherKind::Optimal)
+                    .grid(true),
+            ),
+        ),
     ] {
-        validate_online(&market, &result.assignment).expect("feasible");
+        // Feasibility *and* dispatch causality: departures never precede
+        // the decisions that dispatched them.
+        validate_online_result(&market, &result).expect("feasible and causal");
         rows.push(vec![
             label.to_string(),
             format!("{:.2}", result.total_profit(&market).as_f64()),

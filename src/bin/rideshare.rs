@@ -67,17 +67,22 @@ USAGE:
                      [--model hitch|hwh] [--delivery] --out DIR
   rideshare summary  --dir DIR
   rideshare solve    --dir DIR            (offline greedy, Alg. 1)
-  rideshare simulate --dir DIR [--policy margin|nearest]   (Algs. 3-4)
+  rideshare simulate --dir DIR [--policy margin|nearest|batch-<W>|batch-opt-<W>]
+                                          (Algs. 3-4 / batched dispatch)
   rideshare bound    --dir DIR            (LP upper bound Z_f*)
-  rideshare sweep    [--scenarios all|tiny|a,b,…] [--policies p,q,…]
+  rideshare sweep    [--scenarios all|tiny|a,b,…]
+                     [--policies p,q,…|w-sweep]
                      [--threads N] [--no-bound] [--canonical]
                      [--json PATH] [--csv PATH]
                      (scenario × policy matrix, parallel sharded)
 
 DIR holds trips.csv and drivers.csv as written by `generate`.
 `sweep --scenarios list` prints the catalog. Policies: greedy, maxMargin,
-nearest, random, batch-<M>m. --canonical omits wall-times so reports are
-byte-identical across thread counts (the CI snapshot form).";
+nearest, random, batch-<W> and batch-opt-<W> where <W> is a hold window
+like 3m or 90s (greedy vs optimal per-batch matcher); `w-sweep` expands
+to the batching study (window sweep under both matchers). --canonical
+omits wall-times so reports are byte-identical across thread counts (the
+CI snapshot form).";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -176,13 +181,25 @@ fn solve(market: Market) -> Result<(), String> {
 }
 
 fn simulate(args: &[String], market: Market) -> Result<(), String> {
+    use rideshare::bench::PolicySpec;
+    use rideshare::online::{run_batched_with, validate_online_result};
+
     let sim = Simulator::new(&market);
     let result = match flag_value(args, "--policy") {
         Some("nearest") => sim.run(&mut NearestDriver::new(), SimulationOptions::default()),
         Some("margin") | None => sim.run(&mut MaxMargin::new(), SimulationOptions::default()),
-        Some(other) => return Err(format!("unknown policy '{other}' (margin|nearest)")),
+        Some(batch) => match PolicySpec::parse(batch).and_then(|p| p.batch_options()) {
+            // One source of truth for a batched policy's options: the same
+            // `PolicySpec::batch_options` the sweep engine dispatches with.
+            Some(opts) => run_batched_with(&market, opts),
+            None => {
+                return Err(format!(
+                    "unknown policy '{batch}' (margin|nearest|batch-<W>|batch-opt-<W>)"
+                ))
+            }
+        },
     };
-    validate_online(&market, &result.assignment).map_err(|e| e.to_string())?;
+    validate_online_result(&market, &result).map_err(|e| e.to_string())?;
     println!(
         "online: served {}/{} ({:.1}%), profit {}",
         result.served,
@@ -222,6 +239,7 @@ fn sweep(args: &[String]) -> Result<(), String> {
     };
     let policies: Vec<PolicySpec> = match flag_value(args, "--policies") {
         None => PolicySpec::default_set(),
+        Some("w-sweep") => PolicySpec::w_sweep_set(),
         Some(names) => names
             .split(',')
             .map(|n| PolicySpec::parse(n.trim()).ok_or_else(|| format!("unknown policy '{n}'")))

@@ -69,8 +69,9 @@ pub mod prelude {
     pub use rideshare_geo::{BoundingBox, GeoPoint, SpeedModel};
     pub use rideshare_metrics::{render_series, render_table, MarketMetrics, Series};
     pub use rideshare_online::{
-        validate_online, DispatchPolicy, MaxMargin, NearestDriver, RandomDispatch,
-        SimulationOptions, Simulator,
+        run_batched, run_batched_with, validate_online, validate_online_result, BatchEngine,
+        BatchMatcher, BatchOptions, DispatchPolicy, MatcherKind, MaxMargin, NearestDriver,
+        RandomDispatch, SimulationOptions, Simulator,
     };
     pub use rideshare_pricing::{FareModel, SurgeConfig, SurgeEngine, WtpModel};
     pub use rideshare_trace::{DriverModel, DriverShift, Trace, TraceConfig, TripRecord};

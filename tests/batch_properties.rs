@@ -1,18 +1,24 @@
-//! Property tests for the batched dispatcher (`run_batched`).
+//! Property tests for the batched dispatcher (`BatchEngine`).
 //!
-//! Two doc claims of `rideshare-online`'s `batch` module become executable
-//! here:
+//! Three doc claims of `rideshare-online`'s `batch` module become
+//! executable here:
 //!
-//! 1. every hold window `W ≥ 0` yields a `validate_online`-clean
-//!    assignment with full task accounting, and
+//! 1. every hold window `W ≥ 0`, under either matcher, yields a
+//!    `validate_online_result`-clean outcome — online-feasible routes,
+//!    full task accounting, **and dispatch causality** (no departure
+//!    precedes its dispatch decision; the validator replays every route
+//!    with decision-time departures and demands exact agreement),
 //! 2. with `W = 0` and distinct publish times (a zero window still batches
 //!    same-instant ties), the batched dispatcher degenerates to the
 //!    per-task maxMargin simulator exactly — same dispatch vector, same
-//!    profit.
+//!    profit (also pinned by a fixed-seed regression test below), and
+//! 3. grid-pruned candidate generation changes nothing but wall-time: the
+//!    full-scan and grid paths produce byte-identical dispatches and
+//!    events for random traces and windows.
 
 use proptest::prelude::*;
 
-use rideshare::online::run_batched;
+use rideshare::online::{run_batched, run_batched_with, BatchOptions, MatcherKind};
 use rideshare::prelude::*;
 
 fn porto_market(seed: u64, tasks: usize, drivers: usize, hitch: bool) -> Market {
@@ -32,25 +38,31 @@ fn porto_market(seed: u64, tasks: usize, drivers: usize, hitch: bool) -> Market 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]
-    fn every_window_is_online_feasible(
+    fn every_window_is_feasible_and_causal(
         seed in 0u64..10_000,
         tasks in 1usize..60,
         drivers in 0usize..8,
         hitch in any::<bool>(),
         window_mins in 0i64..40,
+        optimal in any::<bool>(),
     ) {
         let market = porto_market(seed, tasks, drivers, hitch);
-        let r = run_batched(&market, TimeDelta::from_mins(window_mins));
-        prop_assert!(validate_online(&market, &r.assignment).is_ok());
+        let matcher = if optimal { MatcherKind::Optimal } else { MatcherKind::Greedy };
+        let window = TimeDelta::from_mins(window_mins);
+        let r = run_batched_with(&market, BatchOptions::with_window(window).matcher(matcher));
+        // Feasibility + causality in one validator: routes replay cleanly
+        // AND departing at each event's recorded decision time reproduces
+        // each recorded arrival exactly.
+        prop_assert!(validate_online_result(&market, &r).is_ok());
         prop_assert_eq!(r.served + r.rejected, market.num_tasks());
         prop_assert_eq!(r.served, r.assignment.served_count());
-        prop_assert_eq!(
-            r.dispatch.iter().filter(|d| d.is_some()).count(),
-            r.served
-        );
-        // Batching may only delay a pickup by at most its own window plus
-        // travel; waits stay non-negative in all cases.
         for e in &r.events {
+            let task = &market.tasks()[e.task.index()];
+            // A task is decided within its own window, never before it is
+            // published and never after its pickup deadline.
+            prop_assert!(e.decision_time >= task.publish_time);
+            prop_assert!(e.decision_time <= (task.publish_time + window).min(task.pickup_deadline));
+            prop_assert!(e.arrival >= e.decision_time, "departure predates decision");
             prop_assert!(e.wait.is_non_negative());
         }
     }
@@ -84,6 +96,24 @@ proptest! {
     }
 
     #[test]
+    fn grid_pruning_is_result_neutral(
+        seed in 0u64..10_000,
+        tasks in 1usize..60,
+        drivers in 0usize..10,
+        window_mins in 0i64..40,
+        optimal in any::<bool>(),
+    ) {
+        let market = porto_market(seed, tasks, drivers, true);
+        let matcher = if optimal { MatcherKind::Optimal } else { MatcherKind::Greedy };
+        let base = BatchOptions::with_window(TimeDelta::from_mins(window_mins)).matcher(matcher);
+        let scan = run_batched_with(&market, base);
+        let grid = run_batched_with(&market, base.grid(true));
+        prop_assert_eq!(&scan.dispatch, &grid.dispatch);
+        prop_assert_eq!(&scan.events, &grid.events);
+        prop_assert_eq!(scan.rejected, grid.rejected);
+    }
+
+    #[test]
     fn wider_windows_never_lose_feasibility(
         seed in 0u64..5_000,
         tasks in 1usize..50,
@@ -94,8 +124,29 @@ proptest! {
         let market = porto_market(seed, tasks, drivers, true);
         for mins in [0i64, 1, 5, 15, 60] {
             let r = run_batched(&market, TimeDelta::from_mins(mins));
-            prop_assert!(validate_online(&market, &r.assignment).is_ok(), "W = {mins}m");
+            prop_assert!(validate_online_result(&market, &r).is_ok(), "W = {mins}m");
             prop_assert_eq!(r.served + r.rejected, market.num_tasks());
         }
     }
+}
+
+/// Pinned regression (not a property): `W = 0` still degenerates to
+/// per-task maxMargin on a fixed, distinct-publish-time market. If the
+/// engine's window bucketing or the greedy matcher's tie-break ever drifts,
+/// this fails before the sweep snapshot does.
+#[test]
+fn zero_window_regression_pin() {
+    let market = porto_market(63, 150, 25, true);
+    let mut publishes: Vec<_> = market.tasks().iter().map(|t| t.publish_time).collect();
+    publishes.sort();
+    assert!(
+        publishes.windows(2).all(|w| w[0] != w[1]),
+        "seed 63 must keep distinct publish times for this pin"
+    );
+    let batched = run_batched(&market, TimeDelta::ZERO);
+    let instant = Simulator::new(&market).run(&mut MaxMargin::new(), SimulationOptions::default());
+    assert_eq!(batched.dispatch, instant.dispatch);
+    assert_eq!(batched.events, instant.events);
+    assert_eq!(batched.served, instant.served);
+    assert_eq!(batched.rejected, instant.rejected);
 }
