@@ -1,0 +1,105 @@
+//! Criterion bench for the streaming replay engine: end-to-end throughput
+//! (lazy trace generation → incremental pricing → bounded-memory dispatch
+//! → windowed metrics) in tasks per second, for the instant and batched
+//! policies, with and without the spatial grid.
+//!
+//! This is the pipeline behind `rideshare replay --tasks 1000000`; the
+//! bench pins its tasks/sec (reported time ÷ the task count below) and —
+//! in the smoke pass — asserts the peak-resident high-water mark stays
+//! `O(active tasks + drivers)`, never `O(trace)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rideshare_core::StreamPricer;
+use rideshare_metrics::StreamMetrics;
+use rideshare_online::{
+    GreedyPairMatcher, MaxMargin, StreamEngine, StreamEvent, StreamOptions, StreamPolicy,
+    StreamSummary,
+};
+use rideshare_trace::{DriverModel, TraceConfig};
+use rideshare_types::TimeDelta;
+
+const TASKS: usize = 20_000;
+const DRIVERS: usize = 300;
+
+fn config() -> TraceConfig {
+    TraceConfig::porto()
+        .with_seed(7)
+        .with_task_count(TASKS)
+        .with_driver_count(DRIVERS, DriverModel::Hitchhiking)
+}
+
+/// Runs the whole streaming pipeline once and returns its summary.
+fn run_pipeline(batched: Option<TimeDelta>, use_grid: bool) -> StreamSummary {
+    let config = config();
+    let stream = config.stream();
+    let bbox = stream.bounding_box();
+    let speed = stream.speed();
+    let build = rideshare_core::MarketBuildOptions {
+        surge_window: Some(TimeDelta::from_mins(30)),
+        ..rideshare_core::MarketBuildOptions::default()
+    };
+    let mut pricer = StreamPricer::new(&build, bbox, speed, stream.drivers());
+
+    let mut mm = MaxMargin::new();
+    let mut greedy = GreedyPairMatcher;
+    let mut policy = match batched {
+        None => StreamPolicy::Instant(&mut mm),
+        Some(window) => StreamPolicy::Batched {
+            window,
+            matcher: &mut greedy,
+        },
+    };
+    let options = if use_grid {
+        StreamOptions::default().grid(bbox)
+    } else {
+        StreamOptions::default()
+    };
+    let mut metrics = StreamMetrics::hourly();
+    let mut engine = StreamEngine::new(speed, options);
+    for shift in stream.drivers() {
+        engine.push(
+            StreamEvent::DriverOnline(rideshare_core::Driver::from(shift)),
+            &mut policy,
+            &mut metrics,
+        );
+    }
+    for trip in stream {
+        let task = pricer.price(&trip);
+        engine.push(StreamEvent::TaskPublished(task), &mut policy, &mut metrics);
+    }
+    engine.finish(&mut policy, &mut metrics)
+}
+
+fn bench_stream_replay(c: &mut Criterion) {
+    // Smoke invariants (also exercised by `cargo test --benches`): the
+    // replay consumed everything and resident state stayed bounded.
+    let summary = run_pipeline(Some(TimeDelta::from_mins(2)), true);
+    assert_eq!(summary.tasks, TASKS);
+    assert!(summary.served > 0);
+    assert!(
+        summary.peak_held_tasks < TASKS / 10,
+        "peak held {} for {TASKS} tasks — stream is materialising",
+        summary.peak_held_tasks
+    );
+
+    let mut group = c.benchmark_group("stream_replay");
+    group.sample_size(10);
+    for (label, batched) in [
+        ("instant", None),
+        ("batch-2m", Some(TimeDelta::from_mins(2))),
+    ] {
+        for (idx, use_grid) in [("grid", true), ("scan", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{TASKS}tasks/{idx}")),
+                &batched,
+                |b, &batched| b.iter(|| black_box(run_pipeline(batched, use_grid))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_replay);
+criterion_main!(benches);

@@ -52,6 +52,7 @@ pub mod export;
 mod greedy;
 mod market;
 pub mod partition;
+mod streaming;
 mod summary;
 pub mod tightness;
 mod upper_bound;
@@ -65,6 +66,7 @@ pub use partition::{
     components_upper_bound, disjoint_components, disjoint_components_sharded, sharded_upper_bound,
     solve_components, solve_sharded, SubMarket,
 };
+pub use streaming::StreamPricer;
 pub use summary::MarketSummary;
 pub use upper_bound::{lp_upper_bound, performance_ratio, UpperBoundOptions, UpperBoundResult};
 pub use view::{BestPath, DriverView};

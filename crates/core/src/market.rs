@@ -83,6 +83,21 @@ pub struct Driver {
     pub model: DriverModel,
 }
 
+impl From<&rideshare_trace::DriverShift> for Driver {
+    /// A market driver is a trace shift verbatim — one conversion shared
+    /// by [`Market::from_trace`] and the streaming replay pipeline.
+    fn from(d: &rideshare_trace::DriverShift) -> Self {
+        Driver {
+            id: d.id,
+            source: d.source,
+            destination: d.destination,
+            shift_start: d.shift_start,
+            shift_end: d.shift_end,
+            model: d.model,
+        }
+    }
+}
+
 /// A driver-independent feasible chain arc `m → m'` of the task map: the
 /// driver can drive empty from `m`'s destination to `m'`'s origin within
 /// the gap between their windows (Eq. 3's shared condition).
@@ -222,18 +237,7 @@ impl Market {
                 }
             })
             .collect();
-        let drivers: Vec<Driver> = trace
-            .drivers
-            .iter()
-            .map(|d| Driver {
-                id: d.id,
-                source: d.source,
-                destination: d.destination,
-                shift_start: d.shift_start,
-                shift_end: d.shift_end,
-                model: d.model,
-            })
-            .collect();
+        let drivers: Vec<Driver> = trace.drivers.iter().map(Driver::from).collect();
         Self::new(drivers, tasks, trace.speed, opts.max_chain_wait)
     }
 

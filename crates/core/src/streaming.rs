@@ -1,0 +1,271 @@
+//! Streaming task pricing: [`Market::from_trace`]'s Eq. 15 pipeline, one
+//! trip at a time.
+//!
+//! [`Market::from_trace`] prices a whole trace at once. A streaming replay
+//! cannot afford that (the trace never materialises), so [`StreamPricer`]
+//! applies the same fare + willingness-to-pay pipeline incrementally while
+//! trips arrive in publish order, keeping only `O(grid cells + drivers)`
+//! state.
+//!
+//! # Surge and what can stream
+//!
+//! The paper only requires `pₘ` to be fixed by publish time — which is
+//! exactly what makes pricing streamable at all:
+//!
+//! - with [`MarketBuildOptions::surge_window`] set, the pricer runs the
+//!   **rolling-window dynamic surge** — per-cell demand over the trailing
+//!   window against drivers whose shift covers the instant — and produces
+//!   **byte-identical** prices to `from_trace` with the same options (a
+//!   regression test pins this);
+//! - with `surge_window = None` the static whole-day multiplier snapshot
+//!   `from_trace` would use needs the entire trace before the first order
+//!   is priced, which no online platform (and no streaming pricer) can
+//!   know. The pricer then charges the un-surged fare (multiplier 1) —
+//!   equivalent to `from_trace` with [`SurgeConfig::disabled`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rideshare_core::{Market, MarketBuildOptions, StreamPricer};
+//! use rideshare_trace::{DriverModel, TraceConfig};
+//! use rideshare_types::TimeDelta;
+//!
+//! let config = TraceConfig::porto()
+//!     .with_seed(2)
+//!     .with_task_count(300)
+//!     .with_driver_count(15, DriverModel::Hitchhiking);
+//! let opts = MarketBuildOptions {
+//!     surge_window: Some(TimeDelta::from_mins(30)),
+//!     ..MarketBuildOptions::default()
+//! };
+//!
+//! // Stream pipeline: price trips one at a time…
+//! let stream = config.stream();
+//! let mut pricer = StreamPricer::new(&opts, stream.bounding_box(), stream.speed(), stream.drivers());
+//! let streamed: Vec<_> = stream.map(|trip| pricer.price(&trip)).collect();
+//!
+//! // …and it matches materialised pricing of the same trips exactly.
+//! let market = Market::from_trace(&config.stream().collect_trace(), &opts);
+//! assert_eq!(streamed, market.tasks());
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rideshare_geo::{BoundingBox, CellId, GridIndex, SpeedModel};
+use rideshare_pricing::{FareModel, SurgeConfig, WtpModel};
+use rideshare_trace::{DriverShift, TripRecord};
+use rideshare_types::{TimeDelta, Timestamp};
+
+use crate::market::{MarketBuildOptions, Task};
+
+/// Prices trips into [`Task`]s one at a time, in publish order — the
+/// bounded-memory counterpart of [`crate::Market::from_trace`]. See the
+/// module docs for the exact equivalence guarantees.
+#[derive(Clone, Debug)]
+pub struct StreamPricer {
+    fare: FareModel,
+    wtp: WtpModel,
+    surge: SurgeConfig,
+    rng: StdRng,
+    speed: SpeedModel,
+    window: Option<TimeDelta>,
+    grid: GridIndex<u32>,
+    /// Per-cell FIFO of recent publish times (trips arrive publish-sorted).
+    recent: HashMap<CellId, VecDeque<Timestamp>>,
+    /// Per-cell driver shifts (supply is "shift covers the publish instant
+    /// and home cell is here", as in the materialised dynamic pricer).
+    shifts: HashMap<CellId, Vec<(Timestamp, Timestamp)>>,
+    last_publish: Option<Timestamp>,
+}
+
+impl StreamPricer {
+    /// Creates a pricer over the service area `bbox` with the day's driver
+    /// shifts (needed for the dynamic surge's supply side; `O(drivers)`).
+    #[must_use]
+    pub fn new(
+        opts: &MarketBuildOptions,
+        bbox: BoundingBox,
+        speed: SpeedModel,
+        drivers: &[DriverShift],
+    ) -> Self {
+        let (rows, cols) = opts.surge_grid;
+        let grid: GridIndex<u32> = GridIndex::new(bbox, rows, cols);
+        let mut shifts: HashMap<CellId, Vec<(Timestamp, Timestamp)>> = HashMap::new();
+        for d in drivers {
+            shifts
+                .entry(grid.cell_of(d.source))
+                .or_default()
+                .push((d.shift_start, d.shift_end));
+        }
+        Self {
+            fare: opts.fare,
+            wtp: opts.wtp,
+            surge: opts.surge,
+            rng: StdRng::seed_from_u64(opts.wtp_seed),
+            speed,
+            window: opts.surge_window,
+            grid,
+            recent: HashMap::new(),
+            shifts,
+            last_publish: None,
+        }
+    }
+
+    /// Prices the next trip of the stream. Must be called in publish order
+    /// (the WTP draw sequence and the rolling surge window both depend on
+    /// it — this is the same order dependence `from_trace` has).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip` publishes earlier than the previous one.
+    pub fn price(&mut self, trip: &TripRecord) -> Task {
+        if let Some(last) = self.last_publish {
+            assert!(
+                trip.publish_time >= last,
+                "trips must be priced in publish order: {} after {last}",
+                trip.publish_time
+            );
+        }
+        self.last_publish = Some(trip.publish_time);
+
+        let alpha = match self.window {
+            None => 1.0,
+            Some(window) => {
+                let cell = self.grid.cell_of(trip.origin);
+                let q = self.recent.entry(cell).or_default();
+                while let Some(&front) = q.front() {
+                    if front < trip.publish_time - window {
+                        q.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                q.push_back(trip.publish_time);
+                let demand = q.len() as u32;
+                let supply = self.shifts.get(&cell).map_or(0, |v| {
+                    v.iter()
+                        .filter(|(s, e)| *s <= trip.publish_time && trip.publish_time <= *e)
+                        .count()
+                }) as u32;
+                self.surge.multiplier_for(demand, supply)
+            }
+        };
+
+        let window = trip.completion_deadline - trip.pickup_deadline;
+        let price = self.fare.price(trip.distance_km, window, alpha);
+        let valuation = self.wtp.sample(&mut self.rng, price);
+        Task {
+            id: trip.id,
+            publish_time: trip.publish_time,
+            origin: trip.origin,
+            destination: trip.destination,
+            pickup_deadline: trip.pickup_deadline,
+            completion_deadline: trip.completion_deadline,
+            duration: trip.duration,
+            price,
+            valuation,
+            service_cost: self.speed.cost_for_km(trip.distance_km),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::Market;
+    use rideshare_trace::{DriverModel, TraceConfig};
+
+    fn config(seed: u64) -> TraceConfig {
+        TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(400)
+            .with_driver_count(10, DriverModel::Hitchhiking)
+    }
+
+    fn stream_tasks(cfg: &TraceConfig, opts: &MarketBuildOptions) -> Vec<Task> {
+        let stream = cfg.stream();
+        let mut pricer = StreamPricer::new(
+            opts,
+            stream.bounding_box(),
+            stream.speed(),
+            stream.drivers(),
+        );
+        stream.map(|t| pricer.price(&t)).collect()
+    }
+
+    #[test]
+    fn dynamic_surge_matches_from_trace_exactly() {
+        let cfg = config(31);
+        let opts = MarketBuildOptions {
+            surge_window: Some(TimeDelta::from_mins(30)),
+            ..MarketBuildOptions::default()
+        };
+        let streamed = stream_tasks(&cfg, &opts);
+        let market = Market::from_trace(&cfg.stream().collect_trace(), &opts);
+        assert_eq!(streamed.as_slice(), market.tasks());
+    }
+
+    #[test]
+    fn disabled_surge_matches_from_trace_exactly() {
+        let cfg = config(32);
+        let opts = MarketBuildOptions {
+            surge: SurgeConfig::disabled(),
+            ..MarketBuildOptions::default()
+        };
+        let streamed = stream_tasks(&cfg, &opts);
+        let market = Market::from_trace(&cfg.stream().collect_trace(), &opts);
+        assert_eq!(streamed.as_slice(), market.tasks());
+    }
+
+    #[test]
+    fn no_window_means_unsurged_fares() {
+        // With surge enabled but no rolling window, the stream cannot know
+        // the whole-day snapshot; it charges the flat fare instead.
+        let cfg = config(33);
+        let surged = stream_tasks(&cfg, &MarketBuildOptions::default());
+        let flat = stream_tasks(
+            &cfg,
+            &MarketBuildOptions {
+                surge: SurgeConfig::disabled(),
+                ..MarketBuildOptions::default()
+            },
+        );
+        for (a, b) in surged.iter().zip(&flat) {
+            assert!(a.price.approx_eq(b.price));
+        }
+    }
+
+    #[test]
+    fn ir_and_margins_hold_streamed() {
+        let cfg = config(34);
+        let opts = MarketBuildOptions {
+            surge_window: Some(TimeDelta::from_mins(20)),
+            ..MarketBuildOptions::default()
+        };
+        for task in stream_tasks(&cfg, &opts) {
+            assert!(task.valuation >= task.price, "IR: bₘ ≥ pₘ");
+            assert!(task
+                .margin(crate::market::Objective::Profit)
+                .is_strictly_positive());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "publish order")]
+    fn out_of_order_pricing_rejected() {
+        let cfg = config(35);
+        let trips: Vec<_> = cfg.stream().collect();
+        let stream = cfg.stream();
+        let mut pricer = StreamPricer::new(
+            &MarketBuildOptions::default(),
+            stream.bounding_box(),
+            stream.speed(),
+            stream.drivers(),
+        );
+        let _ = pricer.price(trips.last().unwrap());
+        let _ = pricer.price(&trips[0]);
+    }
+}

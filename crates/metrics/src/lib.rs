@@ -34,9 +34,11 @@
 // Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
 mod market_metrics;
+mod stream_stats;
 mod table;
 mod timeseries;
 
 pub use market_metrics::MarketMetrics;
+pub use stream_stats::{StreamBucket, StreamMetrics};
 pub use table::{render_bars, render_pivot, render_series, render_table, Series};
 pub use timeseries::{HourBucket, HourlyBreakdown};

@@ -1,0 +1,384 @@
+//! Incremental, windowed metrics for streaming replay.
+//!
+//! [`crate::MarketMetrics`] and [`crate::HourlyBreakdown`] need the whole
+//! market and result in memory. A million-task streaming replay has
+//! neither, so [`StreamMetrics`] implements
+//! [`rideshare_online::StreamSink`] and accumulates everything the
+//! reports need *as decisions happen*: totals, time-bucketed
+//! served/revenue/profit tables (Figs. 6–7 off a stream), and per-driver
+//! income (Figs. 8–9). Resident state is `O(time buckets + drivers)` —
+//! bounded by the replayed horizon and fleet, never by the trace length.
+//!
+//! Profit comes from the Eq. 14 margins recorded on each
+//! [`rideshare_online::DispatchEvent`]: margins telescope along every
+//! driver's route, so their sum equals the run's total profit (Eq. 4)
+//! without ever touching a [`rideshare_core::Market`] — a property the
+//! facade's stream-equivalence suite checks against the materialised
+//! objective.
+//!
+//! # Examples
+//!
+//! ```
+//! use rideshare_core::{Market, MarketBuildOptions};
+//! use rideshare_metrics::StreamMetrics;
+//! use rideshare_online::{market_events, replay_stream, MaxMargin, StreamOptions, StreamPolicy};
+//! use rideshare_trace::{DriverModel, TraceConfig};
+//!
+//! let trace = TraceConfig::porto()
+//!     .with_seed(8)
+//!     .with_task_count(150)
+//!     .with_driver_count(12, DriverModel::Hitchhiking)
+//!     .generate();
+//! let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+//!
+//! let mut metrics = StreamMetrics::hourly();
+//! let summary = replay_stream(
+//!     market.speed(),
+//!     market_events(&market),
+//!     &mut StreamPolicy::Instant(&mut MaxMargin::new()),
+//!     StreamOptions::default(),
+//!     &mut metrics,
+//! );
+//! assert_eq!(metrics.served(), summary.served);
+//! assert!(metrics.service_rate() <= 1.0);
+//! println!("{}", metrics.render());
+//! ```
+
+use rideshare_core::{Driver, Task};
+use rideshare_online::{DispatchEvent, StreamSink};
+use rideshare_types::{TimeDelta, Timestamp};
+
+use crate::table::render_table;
+
+/// One time bucket of streamed market activity.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct StreamBucket {
+    /// Orders published in this bucket.
+    pub published: usize,
+    /// Of those, orders dispatched.
+    pub served: usize,
+    /// Revenue (Σ `pₘ`) of the served orders.
+    pub revenue: f64,
+    /// Profit (Σ Eq. 14 margins) of the served orders.
+    pub profit: f64,
+}
+
+impl StreamBucket {
+    /// Served fraction of this bucket's demand (0 when no demand).
+    #[must_use]
+    pub fn service_rate(&self) -> f64 {
+        if self.published == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.published as f64
+        }
+    }
+}
+
+/// The incremental accumulator: totals, a time-bucketed activity table,
+/// and per-driver income, fed through the [`StreamSink`] callbacks.
+#[derive(Clone, Debug)]
+pub struct StreamMetrics {
+    bucket_len: TimeDelta,
+    buckets: Vec<StreamBucket>,
+    totals: StreamBucket,
+    rejected: usize,
+    wait_mins_sum: f64,
+    deadhead_km: f64,
+    /// Per-driver income (Σ margins), indexed by driver.
+    income: Vec<f64>,
+    /// Per-driver served-task counts.
+    tasks_per_driver: Vec<u32>,
+}
+
+impl StreamMetrics {
+    /// An accumulator bucketing by the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bucket_len` is strictly positive.
+    #[must_use]
+    pub fn with_bucket(bucket_len: TimeDelta) -> Self {
+        assert!(
+            bucket_len > TimeDelta::ZERO,
+            "bucket length must be positive"
+        );
+        Self {
+            bucket_len,
+            buckets: Vec::new(),
+            totals: StreamBucket::default(),
+            rejected: 0,
+            wait_mins_sum: 0.0,
+            deadhead_km: 0.0,
+            income: Vec::new(),
+            tasks_per_driver: Vec::new(),
+        }
+    }
+
+    /// The conventional hour-of-day accumulator.
+    #[must_use]
+    pub fn hourly() -> Self {
+        Self::with_bucket(TimeDelta::from_hours(1))
+    }
+
+    fn bucket_mut(&mut self, at: Timestamp) -> &mut StreamBucket {
+        // Pre-midnight publishes (possible for orders placed just before
+        // the day starts) clamp into the first bucket.
+        let idx = (at.as_secs().div_euclid(self.bucket_len.as_secs())).max(0) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, StreamBucket::default());
+        }
+        &mut self.buckets[idx]
+    }
+
+    /// The filled time buckets, index `k` covering
+    /// `[k·bucket, (k+1)·bucket)` (index 0 also absorbs pre-epoch
+    /// publishes).
+    #[must_use]
+    pub fn buckets(&self) -> &[StreamBucket] {
+        &self.buckets
+    }
+
+    /// Orders seen so far.
+    #[must_use]
+    pub fn published(&self) -> usize {
+        self.totals.published
+    }
+
+    /// Orders dispatched so far.
+    #[must_use]
+    pub fn served(&self) -> usize {
+        self.totals.served
+    }
+
+    /// Orders rejected so far.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Served fraction of all demand so far — Fig. 7's metric, live.
+    #[must_use]
+    pub fn service_rate(&self) -> f64 {
+        self.totals.service_rate()
+    }
+
+    /// Total revenue (Σ `pₘ`) of served orders — Fig. 6's metric, live.
+    #[must_use]
+    pub fn revenue(&self) -> f64 {
+        self.totals.revenue
+    }
+
+    /// Total profit so far: Σ Eq. 14 margins, which telescopes to the
+    /// materialised Eq. 4 objective.
+    #[must_use]
+    pub fn profit(&self) -> f64 {
+        self.totals.profit
+    }
+
+    /// Mean rider wait over served orders, in minutes.
+    #[must_use]
+    pub fn mean_wait_mins(&self) -> Option<f64> {
+        (self.totals.served > 0).then(|| self.wait_mins_sum / self.totals.served as f64)
+    }
+
+    /// Total empty kilometres driven to reach pickups.
+    #[must_use]
+    pub fn total_deadhead_km(&self) -> f64 {
+        self.deadhead_km
+    }
+
+    /// Drivers that served at least one order.
+    #[must_use]
+    pub fn active_drivers(&self) -> usize {
+        self.tasks_per_driver.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// Mean income over *active* drivers (Fig. 8's "average revenue per
+    /// worker", profit flavoured), `None` when nobody served.
+    #[must_use]
+    pub fn mean_income_per_active_driver(&self) -> Option<f64> {
+        let active = self.active_drivers();
+        (active > 0).then(|| self.income.iter().sum::<f64>() / active as f64)
+    }
+
+    /// Mean served tasks per active driver (Fig. 9's metric).
+    #[must_use]
+    pub fn mean_tasks_per_active_driver(&self) -> Option<f64> {
+        let active = self.active_drivers();
+        (active > 0).then(|| {
+            self.tasks_per_driver
+                .iter()
+                .map(|&n| f64::from(n))
+                .sum::<f64>()
+                / active as f64
+        })
+    }
+
+    /// Per-driver income (Σ margins), indexed by driver id.
+    #[must_use]
+    pub fn incomes(&self) -> &[f64] {
+        &self.income
+    }
+
+    /// Renders the non-empty time buckets as an aligned text table
+    /// (`bucket | published | served | rate | revenue | profit`).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.published > 0)
+            .map(|(k, b)| {
+                let start =
+                    Timestamp::EPOCH + TimeDelta::from_secs(k as i64 * self.bucket_len.as_secs());
+                vec![
+                    format!("{start}"),
+                    b.published.to_string(),
+                    b.served.to_string(),
+                    format!("{:.3}", b.service_rate()),
+                    format!("{:.2}", b.revenue),
+                    format!("{:.2}", b.profit),
+                ]
+            })
+            .collect();
+        render_table(
+            &["bucket", "published", "served", "rate", "revenue", "profit"],
+            &rows,
+        )
+    }
+}
+
+impl StreamSink for StreamMetrics {
+    fn driver_online(&mut self, driver: &Driver) {
+        let idx = driver.id.index();
+        if self.income.len() <= idx {
+            self.income.resize(idx + 1, 0.0);
+            self.tasks_per_driver.resize(idx + 1, 0);
+        }
+    }
+
+    fn dispatched(&mut self, task: &Task, event: &DispatchEvent) {
+        let b = self.bucket_mut(task.publish_time);
+        b.published += 1;
+        b.served += 1;
+        b.revenue += task.price.as_f64();
+        b.profit += event.margin;
+        self.totals.published += 1;
+        self.totals.served += 1;
+        self.totals.revenue += task.price.as_f64();
+        self.totals.profit += event.margin;
+        self.wait_mins_sum += event.wait.as_mins_f64();
+        self.deadhead_km += event.deadhead_km;
+        let d = event.driver.index();
+        self.income[d] += event.margin;
+        self.tasks_per_driver[d] += 1;
+    }
+
+    fn rejected(&mut self, task: &Task, _decision_time: Timestamp) {
+        self.bucket_mut(task.publish_time).published += 1;
+        self.totals.published += 1;
+        self.rejected += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rideshare_core::{Market, MarketBuildOptions};
+    use rideshare_online::{
+        market_events, replay_stream, MaxMargin, SimulationOptions, Simulator, StreamOptions,
+        StreamPolicy,
+    };
+    use rideshare_trace::{DriverModel, TraceConfig};
+
+    fn run(seed: u64, tasks: usize, drivers: usize) -> (Market, StreamMetrics) {
+        let trace = TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, DriverModel::Hitchhiking)
+            .generate();
+        let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+        let mut metrics = StreamMetrics::hourly();
+        let _ = replay_stream(
+            market.speed(),
+            market_events(&market),
+            &mut StreamPolicy::Instant(&mut MaxMargin::new()),
+            StreamOptions::default(),
+            &mut metrics,
+        );
+        (market, metrics)
+    }
+
+    #[test]
+    fn totals_match_materialized_objective() {
+        let (market, metrics) = run(91, 250, 25);
+        let materialized =
+            Simulator::new(&market).run(&mut MaxMargin::new(), SimulationOptions::default());
+        assert_eq!(metrics.served(), materialized.served);
+        assert_eq!(metrics.rejected(), materialized.rejected);
+        assert_eq!(metrics.published(), market.num_tasks());
+        // Margins telescope to the Eq. 4 objective.
+        let objective = materialized.total_profit(&market).as_f64();
+        assert!(
+            (metrics.profit() - objective).abs() < 1e-6,
+            "streamed profit {} vs objective {objective}",
+            metrics.profit()
+        );
+        let revenue = materialized.assignment.total_revenue(&market).as_f64();
+        assert!((metrics.revenue() - revenue).abs() < 1e-6);
+        assert!(
+            (metrics.mean_wait_mins().unwrap() - materialized.mean_wait_mins().unwrap()).abs()
+                < 1e-9
+        );
+        assert!((metrics.total_deadhead_km() - materialized.total_deadhead_km()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_sum_to_totals() {
+        let (_, metrics) = run(92, 300, 15);
+        let published: usize = metrics.buckets().iter().map(|b| b.published).sum();
+        let served: usize = metrics.buckets().iter().map(|b| b.served).sum();
+        let profit: f64 = metrics.buckets().iter().map(|b| b.profit).sum();
+        assert_eq!(published, metrics.published());
+        assert_eq!(served, metrics.served());
+        assert!((profit - metrics.profit()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_driver_income_consistent() {
+        let (market, metrics) = run(93, 200, 10);
+        assert_eq!(metrics.incomes().len(), market.num_drivers());
+        let total: f64 = metrics.incomes().iter().sum();
+        assert!((total - metrics.profit()).abs() < 1e-9);
+        assert!(metrics.active_drivers() <= market.num_drivers());
+        if metrics.served() > 0 {
+            assert!(metrics.mean_income_per_active_driver().is_some());
+            assert!(metrics.mean_tasks_per_active_driver().unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn render_is_well_formed() {
+        let (_, metrics) = run(94, 120, 8);
+        let table = metrics.render();
+        assert!(table.contains("published"));
+        assert!(table.lines().count() >= 2, "{table}");
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let metrics = StreamMetrics::hourly();
+        assert_eq!(metrics.published(), 0);
+        assert_eq!(metrics.service_rate(), 0.0);
+        assert!(metrics.mean_wait_mins().is_none());
+        assert!(metrics.mean_income_per_active_driver().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bucket_rejected() {
+        let _ = StreamMetrics::with_bucket(TimeDelta::ZERO);
+    }
+}

@@ -1,15 +1,23 @@
 //! Shared candidate generation — step (a) of Algorithms 3–4.
 //!
-//! Both dispatch paths of this crate ask the same question: *given the
+//! Every dispatch path of this crate asks the same question: *given the
 //! drivers' projected states, who can feasibly serve this task if the
 //! dispatch decision is made at time `t`, and at what marginal value
 //! (Eq. 14)?* The per-task [`crate::Simulator`] asks it with `t` equal to
 //! the task's publish time (instant dispatch); the
 //! [`crate::BatchEngine`] asks it with `t` equal to the batch decision
-//! epoch, which may be up to the hold window `W` later. [`CandidateEngine`]
-//! is the single implementation of that question, so the feasibility
-//! predicates and the Eq. 14 marginal value can never drift apart between
-//! the two paths.
+//! epoch, which may be up to the hold window `W` later; the
+//! [`crate::StreamEngine`] asks it while consuming an unbounded event
+//! stream. [`CandidateEngine`] is the single implementation of that
+//! question, so the feasibility predicates and the Eq. 14 marginal value
+//! can never drift apart between the paths.
+//!
+//! The engine deliberately does **not** hold a `&Market`: it owns only the
+//! travel model, the optional spatial index, and per-driver flags, while
+//! tasks and drivers are passed in by the caller. That is what lets the
+//! streaming replay engine — which never materialises a market — reuse the
+//! exact same code as the materialized simulator, which is in turn what
+//! makes the stream-vs-materialized oracle tests meaningful.
 //!
 //! The engine optionally maintains a [`GridIndex`] over the drivers'
 //! projected locations. Radius pruning is *lossless*: a driver departs no
@@ -17,15 +25,19 @@
 //! model can cover within `pickup_deadline − decision_time` cannot arrive
 //! in time and would be rejected by the arrival check anyway — the grid
 //! only skips work, never changes results (pinned by the oracle tests).
+//! The same argument covers *expired* drivers (streaming replay marks a
+//! driver expired once the stream clock passes her shift end): any task
+//! decided after `t⁺ₙ` fails the return-home check, so skipping her is
+//! equally lossless.
 
-use rideshare_core::Market;
-use rideshare_geo::{GeoPoint, GridIndex};
+use rideshare_core::{Driver, Market, Task};
+use rideshare_geo::{BoundingBox, GeoPoint, GridIndex, SpeedModel};
 use rideshare_types::Timestamp;
 
 use crate::policy::Candidate;
 
 /// Per-driver projected state during a replay (shared by the per-task
-/// simulator and the batch engine).
+/// simulator, the batch engine, and the streaming engine).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct DriverState {
     /// Where the driver will next be free.
@@ -37,39 +49,79 @@ pub(crate) struct DriverState {
     pub(crate) tasks_taken: u32,
 }
 
-/// The shared candidate generator: driver states plus an optional spatial
-/// index over their projected locations.
+/// The shared candidate generator: the travel model, an optional spatial
+/// index over the drivers' projected locations, and per-driver expiry
+/// flags. Driver records and states are supplied by the caller on every
+/// query, so the engine works equally over a materialised [`Market`] and
+/// over a driver set that grows as a stream announces shifts.
 #[derive(Clone, Debug)]
-pub(crate) struct CandidateEngine<'m> {
-    market: &'m Market,
+pub(crate) struct CandidateEngine {
+    speed: SpeedModel,
     grid: Option<GridIndex<u32>>,
+    /// `expired[d]` ⇒ driver `d` can never again be feasible (the current
+    /// decision clock has passed her shift end, so the return-home check
+    /// fails for every future task). Skipping her is lossless; she stays
+    /// in the grid so [`CandidateEngine::latest_decision`] — which ignores
+    /// feasibility by design — sees exactly the same driver set as a
+    /// materialized engine would.
+    expired: Vec<bool>,
 }
 
-impl<'m> CandidateEngine<'m> {
-    /// Creates the generator and the initial driver states (every driver at
-    /// her source, free from her shift start). With `use_grid` the states
-    /// are also indexed spatially.
-    pub(crate) fn new(market: &'m Market, use_grid: bool) -> (Self, Vec<DriverState>) {
-        let states: Vec<DriverState> = market
-            .drivers()
-            .iter()
-            .map(|d| DriverState {
-                location: d.source,
-                available_at: d.shift_start,
-                tasks_taken: 0,
-            })
-            .collect();
-        let grid = use_grid.then(|| {
-            let mut g = GridIndex::new(market_bbox(market), 16, 16);
-            for (i, s) in states.iter().enumerate() {
-                g.insert(s.location, i as u32);
-            }
-            g
-        });
-        (Self { market, grid }, states)
+impl CandidateEngine {
+    /// Creates the generator and the initial driver states for a
+    /// materialised market (every driver at her source, free from her
+    /// shift start). With `use_grid` the states are also indexed
+    /// spatially.
+    pub(crate) fn for_market(market: &Market, use_grid: bool) -> (Self, Vec<DriverState>) {
+        let mut engine = Self::streaming(market.speed(), use_grid.then(|| market_bbox(market)));
+        let mut states = Vec::with_capacity(market.num_drivers());
+        for d in market.drivers() {
+            engine.add_driver(&mut states, d);
+        }
+        (engine, states)
     }
 
-    /// Every driver who can feasibly serve `task_idx` when the dispatch
+    /// Creates an empty engine for stream consumption: no drivers yet,
+    /// spatial indexing over `bbox` when given (callers typically pass the
+    /// trace's service area; the box only affects speed, never results).
+    pub(crate) fn streaming(speed: SpeedModel, bbox: Option<BoundingBox>) -> Self {
+        Self {
+            speed,
+            grid: bbox.map(|b| GridIndex::new(b, 16, 16)),
+            expired: Vec::new(),
+        }
+    }
+
+    /// Registers one more driver (streaming `DriverOnline`): appends her
+    /// initial state and indexes her spatially. Driver indices are
+    /// positional — the `d`-th call corresponds to `drivers[d]`.
+    pub(crate) fn add_driver(&mut self, states: &mut Vec<DriverState>, driver: &Driver) {
+        let state = DriverState {
+            location: driver.source,
+            available_at: driver.shift_start,
+            tasks_taken: 0,
+        };
+        if let Some(g) = self.grid.as_mut() {
+            g.insert(state.location, states.len() as u32);
+        }
+        states.push(state);
+        self.expired.push(false);
+    }
+
+    /// Marks driver `d` as expired. Only call when the decision clock has
+    /// provably passed her shift end — then every future candidacy would
+    /// fail the return-home check anyway, so the flag is pure work-skipping
+    /// and results stay byte-identical.
+    pub(crate) fn expire(&mut self, d: usize) {
+        self.expired[d] = true;
+    }
+
+    /// Number of drivers currently marked expired.
+    pub(crate) fn expired_count(&self) -> usize {
+        self.expired.iter().filter(|&&e| e).count()
+    }
+
+    /// Every driver who can feasibly serve `task` when the dispatch
     /// decision is made at `decision_time`: she can reach the pickup from
     /// her projected position by the deadline (departing no earlier than
     /// the decision), can still get home afterwards, and is inside her
@@ -77,12 +129,11 @@ impl<'m> CandidateEngine<'m> {
     /// the Eq. 14 marginal value.
     pub(crate) fn candidates_at(
         &self,
+        drivers: &[Driver],
         states: &[DriverState],
-        task_idx: usize,
+        task: &Task,
         decision_time: Timestamp,
     ) -> Vec<Candidate> {
-        let market = self.market;
-        let task = &market.tasks()[task_idx];
         if !task.window_feasible() || decision_time > task.pickup_deadline {
             return Vec::new();
         }
@@ -102,14 +153,14 @@ impl<'m> CandidateEngine<'m> {
                 // twice.
                 let budget =
                     task.pickup_deadline - decision_time + rideshare_types::TimeDelta::from_secs(1);
-                let radius = market.speed().reachable_km(budget);
+                let radius = self.speed.reachable_km(budget);
                 for d in g.query_radius_coarse(task.origin, radius) {
-                    out.extend(self.evaluate(states, task_idx, decision_time, d as usize));
+                    out.extend(self.evaluate(drivers, states, task, decision_time, d as usize));
                 }
             }
             None => {
                 for d in 0..states.len() {
-                    out.extend(self.evaluate(states, task_idx, decision_time, d));
+                    out.extend(self.evaluate(drivers, states, task, decision_time, d));
                 }
             }
         }
@@ -124,31 +175,33 @@ impl<'m> CandidateEngine<'m> {
     /// drivers whose state changed.
     pub(crate) fn candidate_for(
         &self,
+        drivers: &[Driver],
         states: &[DriverState],
-        task_idx: usize,
+        task: &Task,
         decision_time: Timestamp,
         d: usize,
     ) -> Option<Candidate> {
-        let task = &self.market.tasks()[task_idx];
         if !task.window_feasible() || decision_time > task.pickup_deadline {
             return None;
         }
-        self.evaluate(states, task_idx, decision_time, d)
+        self.evaluate(drivers, states, task, decision_time, d)
     }
 
     /// The feasibility predicates and Eq. 14 value for one pair (window
     /// feasibility of the task itself is the caller's precondition).
     fn evaluate(
         &self,
+        drivers: &[Driver],
         states: &[DriverState],
-        task_idx: usize,
+        task: &Task,
         decision_time: Timestamp,
         d: usize,
     ) -> Option<Candidate> {
-        let market = self.market;
-        let speed = market.speed();
-        let task = &market.tasks()[task_idx];
-        let driver = &market.drivers()[d];
+        if self.expired[d] {
+            return None;
+        }
+        let speed = self.speed;
+        let driver = &drivers[d];
         let st = &states[d];
         // Departure: not before the order exists, the dispatch decision
         // is made, the driver is free, and her shift has started.
@@ -181,21 +234,24 @@ impl<'m> CandidateEngine<'m> {
         })
     }
 
-    /// The latest instant a dispatch decision for `task_idx` could still be
+    /// The latest instant a dispatch decision for `task` could still be
     /// made with some driver reaching the pickup from her current projected
     /// position, clamped to `[publish_time, cap]` — the batch engine's
     /// early-flush epoch. A heuristic against the states known when the
     /// window opens (drivers may still move before the epoch fires), but
     /// always causally valid: never before publication, never past `cap`.
+    ///
+    /// Expired drivers are **not** skipped here: this bound deliberately
+    /// ignores feasibility, and including them keeps streamed epochs
+    /// byte-identical to a materialized [`crate::BatchEngine`] (which
+    /// never expires anyone).
     pub(crate) fn latest_decision(
         &self,
         states: &[DriverState],
-        task_idx: usize,
+        task: &Task,
         cap: Timestamp,
     ) -> Timestamp {
-        let market = self.market;
-        let speed = market.speed();
-        let task = &market.tasks()[task_idx];
+        let speed = self.speed;
         let mut best = task.publish_time;
         let mut consider = |d: usize| {
             let latest = task.pickup_deadline - speed.travel_time(states[d].location, task.origin);
@@ -231,10 +287,9 @@ impl<'m> CandidateEngine<'m> {
         &mut self,
         states: &mut [DriverState],
         d: usize,
-        task_idx: usize,
+        task: &Task,
         arrival: Timestamp,
     ) {
-        let task = &self.market.tasks()[task_idx];
         let old_loc = states[d].location;
         states[d] = DriverState {
             location: task.destination,
@@ -249,7 +304,7 @@ impl<'m> CandidateEngine<'m> {
 
 /// Covers every driver and task location with a margin; degenerate markets
 /// fall back to a unit box.
-fn market_bbox(market: &Market) -> rideshare_geo::BoundingBox {
+fn market_bbox(market: &Market) -> BoundingBox {
     let mut pts = market
         .drivers()
         .iter()
@@ -258,7 +313,7 @@ fn market_bbox(market: &Market) -> rideshare_geo::BoundingBox {
         .chain(market.tasks().iter().map(|t| t.origin))
         .chain(market.tasks().iter().map(|t| t.destination));
     let Some(first) = pts.next() else {
-        return rideshare_geo::BoundingBox::new(0.0, 1.0, 0.0, 1.0);
+        return BoundingBox::new(0.0, 1.0, 0.0, 1.0);
     };
     let (mut lat_lo, mut lat_hi) = (first.lat(), first.lat());
     let (mut lon_lo, mut lon_hi) = (first.lon(), first.lon());
@@ -268,7 +323,7 @@ fn market_bbox(market: &Market) -> rideshare_geo::BoundingBox {
         lon_lo = lon_lo.min(p.lon());
         lon_hi = lon_hi.max(p.lon());
     }
-    rideshare_geo::BoundingBox::new(lat_lo - 0.01, lat_hi + 0.01, lon_lo - 0.01, lon_hi + 0.01)
+    BoundingBox::new(lat_lo - 0.01, lat_hi + 0.01, lon_lo - 0.01, lon_hi + 0.01)
 }
 
 #[cfg(test)]
@@ -289,15 +344,16 @@ mod tests {
     #[test]
     fn grid_pruning_is_lossless_at_any_decision_time() {
         let m = market(71, 60, 25);
-        let (linear, states) = CandidateEngine::new(&m, false);
-        let (grid, _) = CandidateEngine::new(&m, true);
+        let (linear, states) = CandidateEngine::for_market(&m, false);
+        let (grid, _) = CandidateEngine::for_market(&m, true);
         for t in 0..m.num_tasks() {
-            let publish = m.tasks()[t].publish_time;
+            let task = &m.tasks()[t];
+            let publish = task.publish_time;
             for delay_mins in [0i64, 2, 10, 45] {
                 let at = publish + rideshare_types::TimeDelta::from_mins(delay_mins);
                 assert_eq!(
-                    linear.candidates_at(&states, t, at),
-                    grid.candidates_at(&states, t, at),
+                    linear.candidates_at(m.drivers(), &states, task, at),
+                    grid.candidates_at(m.drivers(), &states, task, at),
                     "task {t} at {at}"
                 );
             }
@@ -309,13 +365,15 @@ mod tests {
         // A later decision only delays departures, so feasibility shrinks
         // monotonically (driver states held fixed).
         let m = market(72, 40, 15);
-        let (engine, states) = CandidateEngine::new(&m, false);
+        let (engine, states) = CandidateEngine::for_market(&m, false);
         for t in 0..m.num_tasks() {
-            let publish = m.tasks()[t].publish_time;
-            let now = engine.candidates_at(&states, t, publish);
+            let task = &m.tasks()[t];
+            let publish = task.publish_time;
+            let now = engine.candidates_at(m.drivers(), &states, task, publish);
             let later = engine.candidates_at(
+                m.drivers(),
                 &states,
-                t,
+                task,
                 publish + rideshare_types::TimeDelta::from_mins(5),
             );
             let now_drivers: Vec<usize> = now.iter().map(|c| c.driver).collect();
@@ -328,34 +386,96 @@ mod tests {
     #[test]
     fn decision_past_pickup_deadline_is_empty() {
         let m = market(73, 20, 10);
-        let (engine, states) = CandidateEngine::new(&m, false);
+        let (engine, states) = CandidateEngine::for_market(&m, false);
         for t in 0..m.num_tasks() {
-            let past = m.tasks()[t].pickup_deadline + rideshare_types::TimeDelta::from_secs(1);
-            assert!(engine.candidates_at(&states, t, past).is_empty());
+            let task = &m.tasks()[t];
+            let past = task.pickup_deadline + rideshare_types::TimeDelta::from_secs(1);
+            assert!(engine
+                .candidates_at(m.drivers(), &states, task, past)
+                .is_empty());
         }
     }
 
     #[test]
     fn commit_moves_the_driver_and_the_index() {
         let m = market(74, 30, 6);
-        let (mut engine, mut states) = CandidateEngine::new(&m, true);
-        let task = 0usize;
-        let publish = m.tasks()[task].publish_time;
-        let cands = engine.candidates_at(&states, task, publish);
+        let (mut engine, mut states) = CandidateEngine::for_market(&m, true);
+        let task = &m.tasks()[0];
+        let publish = task.publish_time;
+        let cands = engine.candidates_at(m.drivers(), &states, task, publish);
         if let Some(c) = cands.first() {
             engine.commit(&mut states, c.driver, task, c.arrival);
-            assert_eq!(states[c.driver].location, m.tasks()[task].destination);
+            assert_eq!(states[c.driver].location, task.destination);
             assert_eq!(states[c.driver].tasks_taken, 1);
             // The index tracked the move: a fresh linear engine over the
             // mutated states agrees with the grid one.
-            let (linear, _) = CandidateEngine::new(&m, false);
+            let (linear, _) = CandidateEngine::for_market(&m, false);
             for t in 1..m.num_tasks() {
-                let at = m.tasks()[t].publish_time;
+                let next = &m.tasks()[t];
+                let at = next.publish_time;
                 assert_eq!(
-                    linear.candidates_at(&states, t, at),
-                    engine.candidates_at(&states, t, at)
+                    linear.candidates_at(m.drivers(), &states, next, at),
+                    engine.candidates_at(m.drivers(), &states, next, at)
                 );
             }
+        }
+    }
+
+    #[test]
+    fn incremental_driver_onboarding_matches_for_market() {
+        // Announcing drivers one by one (the streaming path) yields the
+        // same engine + states as building from the whole market.
+        let m = market(75, 40, 12);
+        let (batch, batch_states) = CandidateEngine::for_market(&m, true);
+        let mut inc = CandidateEngine::streaming(m.speed(), Some(market_bbox(&m)));
+        let mut inc_states = Vec::new();
+        for d in m.drivers() {
+            inc.add_driver(&mut inc_states, d);
+        }
+        for t in 0..m.num_tasks() {
+            let task = &m.tasks()[t];
+            let at = task.publish_time;
+            assert_eq!(
+                batch.candidates_at(m.drivers(), &batch_states, task, at),
+                inc.candidates_at(m.drivers(), &inc_states, task, at),
+                "task {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn expiring_a_dead_driver_changes_nothing() {
+        // Expire every driver whose shift ended before some cutoff; any
+        // task decided after the cutoff sees identical candidates, and
+        // `latest_decision` (which ignores feasibility) is untouched too.
+        let m = market(76, 50, 20);
+        let (plain, states) = CandidateEngine::for_market(&m, false);
+        let (mut expired, _) = CandidateEngine::for_market(&m, false);
+        let cutoff = rideshare_types::Timestamp::from_hours(14);
+        let mut expired_any = false;
+        for (d, drv) in m.drivers().iter().enumerate() {
+            if drv.shift_end < cutoff {
+                expired.expire(d);
+                expired_any = true;
+            }
+        }
+        assert!(expired_any, "seed must produce an early shift");
+        assert_eq!(expired.expired_count() > 0, expired_any);
+        for t in 0..m.num_tasks() {
+            let task = &m.tasks()[t];
+            if task.publish_time < cutoff {
+                continue;
+            }
+            let at = task.publish_time;
+            assert_eq!(
+                plain.candidates_at(m.drivers(), &states, task, at),
+                expired.candidates_at(m.drivers(), &states, task, at),
+                "task {t}"
+            );
+            assert_eq!(
+                plain.latest_decision(&states, task, at),
+                expired.latest_decision(&states, task, at),
+            );
         }
     }
 }

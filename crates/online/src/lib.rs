@@ -22,6 +22,12 @@
 //!   earlier than the decision; matching is pluggable via [`BatchMatcher`]
 //!   ([`GreedyPairMatcher`] and the LP-backed
 //!   [`OptimalAssignmentMatcher`]),
+//! - [`StreamEngine`] / [`replay_stream`]: **bounded-memory streaming
+//!   replay** — the same dispatch semantics driven from an ordered
+//!   [`StreamEvent`] iterator instead of a materialised market, with
+//!   resident state `O(active tasks + drivers)` and results flowing out
+//!   through a [`StreamSink`]; byte-identical to the simulator and the
+//!   batch engine on the same orders (the oracle tests pin this),
 //! - [`validate_online`]: feasibility checking under *actual* (simulated)
 //!   timing rather than the offline task-map deadlines, and
 //!   [`validate_online_result`]: the same plus the dispatch-causality law
@@ -54,6 +60,7 @@ mod batch;
 mod candidates;
 mod policy;
 mod simulator;
+mod stream;
 mod validate;
 
 pub use batch::{
@@ -64,4 +71,8 @@ pub use policy::{
     Candidate, DispatchPolicy, MaxMargin, NearestDriver, RandomDispatch, WeightedScore,
 };
 pub use simulator::{DispatchEvent, SimulationOptions, SimulationResult, Simulator};
+pub use stream::{
+    market_events, replay_stream, CollectingSink, StreamEngine, StreamEvent, StreamOptions,
+    StreamPolicy, StreamSink, StreamSummary,
+};
 pub use validate::{validate_online, validate_online_result};

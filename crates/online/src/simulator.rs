@@ -1,10 +1,11 @@
 //! The event-driven online replay (the `while task m arrives` loop of
 //! Algorithms 3–4).
 
-use rideshare_core::{Assignment, Market, Objective};
+use rideshare_core::{Assignment, Driver, Market, Objective, Task};
+use rideshare_geo::SpeedModel;
 use rideshare_types::{DriverId, Money, TaskId, Timestamp};
 
-use crate::candidates::CandidateEngine;
+use crate::candidates::{CandidateEngine, DriverState};
 use crate::policy::DispatchPolicy;
 
 /// Options controlling a simulation run.
@@ -42,6 +43,12 @@ pub struct DispatchEvent {
     pub deadhead_km: f64,
     /// Candidate-set size the policy chose from.
     pub candidates: usize,
+    /// The dispatched candidate's Eq. 14 marginal value `δₙ,ₘ`. Margins
+    /// telescope: summing them over a whole run reproduces the run's total
+    /// profit (Eq. 4) without a market in hand, which is how the streaming
+    /// accumulators (`rideshare-metrics`'s `StreamMetrics`) report profit
+    /// off an unbounded stream.
+    pub margin: f64,
 }
 
 /// Outcome of one simulation run.
@@ -144,7 +151,7 @@ impl<'m> Simulator<'m> {
         let speed = market.speed();
 
         // Shared candidate generator (Eq. 14 + feasibility + optional grid).
-        let (mut engine, mut states) = CandidateEngine::new(market, options.use_grid);
+        let (mut engine, mut states) = CandidateEngine::for_market(market, options.use_grid);
 
         // Arrival order: publish time, or descending price for the offline
         // value-sorted variant.
@@ -172,30 +179,24 @@ impl<'m> Simulator<'m> {
             let task = &market.tasks()[ti];
             // Instant dispatch: the decision is made the moment the order
             // is published.
-            let candidates = engine.candidates_at(&states, ti, task.publish_time);
-            let choice = if candidates.is_empty() {
-                None
-            } else {
-                policy.choose(&candidates)
-            };
-            match choice {
+            match dispatch_instant(
+                &mut engine,
+                market.drivers(),
+                &mut states,
+                speed,
+                task,
+                task.publish_time,
+                policy,
+            ) {
                 None => rejected += 1,
-                Some(k) => {
-                    let cand = candidates[k];
-                    let d = cand.driver;
-                    let old_loc = states[d].location;
-                    engine.commit(&mut states, d, ti, cand.arrival);
-                    assignment.push_task(DriverId::new(d as u32), TaskId::new(ti as u32));
-                    dispatch[ti] = Some(DriverId::new(d as u32));
-                    events.push(DispatchEvent {
-                        task: TaskId::new(ti as u32),
-                        driver: DriverId::new(d as u32),
-                        arrival: cand.arrival,
-                        decision_time: task.publish_time,
-                        wait: cand.arrival - task.publish_time,
-                        deadhead_km: speed.driven_km(old_loc, task.origin),
-                        candidates: candidates.len(),
-                    });
+                Some(mut event) => {
+                    // Replay identity is positional: events name tasks by
+                    // market index (hand-built markets may carry ids that
+                    // disagree with their position).
+                    event.task = TaskId::new(ti as u32);
+                    assignment.push_task(event.driver, event.task);
+                    dispatch[ti] = Some(event.driver);
+                    events.push(event);
                     served += 1;
                 }
             }
@@ -209,6 +210,42 @@ impl<'m> Simulator<'m> {
             events,
         }
     }
+}
+
+/// One instant-dispatch decision, shared by [`Simulator::run`] and the
+/// streaming engine's instant mode: generate the candidate set for `task`
+/// at `decision_time`, let `policy` choose, commit the winner, and return
+/// the resulting event (`None` = rejected). `record_id` is the task id the
+/// event reports — the market index for the materialized simulator, the
+/// task's own id for streams.
+pub(crate) fn dispatch_instant(
+    engine: &mut CandidateEngine,
+    drivers: &[Driver],
+    states: &mut [DriverState],
+    speed: SpeedModel,
+    task: &Task,
+    decision_time: Timestamp,
+    policy: &mut dyn DispatchPolicy,
+) -> Option<DispatchEvent> {
+    let candidates = engine.candidates_at(drivers, states, task, decision_time);
+    if candidates.is_empty() {
+        return None;
+    }
+    let k = policy.choose(&candidates)?;
+    let cand = candidates[k];
+    let d = cand.driver;
+    let old_loc = states[d].location;
+    engine.commit(states, d, task, cand.arrival);
+    Some(DispatchEvent {
+        task: task.id,
+        driver: DriverId::new(d as u32),
+        arrival: cand.arrival,
+        decision_time,
+        wait: cand.arrival - task.publish_time,
+        deadhead_km: speed.driven_km(old_loc, task.origin),
+        candidates: candidates.len(),
+        margin: cand.marginal_value,
+    })
 }
 
 #[cfg(test)]

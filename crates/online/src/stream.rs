@@ -1,0 +1,836 @@
+//! Streaming replay: bounded-memory online dispatch over an event stream.
+//!
+//! Every other entry point of this crate replays a fully materialised
+//! [`Market`] — fine for one day of Porto, fatal for the ROADMAP's
+//! "millions of users": building the market alone is `O(trace)` memory
+//! (and `O(M²)` time for the offline chain arcs, which online dispatch
+//! never uses). [`StreamEngine`] instead consumes an ordered
+//! [`StreamEvent`] iterator — shift announcements, published orders,
+//! clock ticks — and keeps only what a real dispatch platform would:
+//! per-driver projected state plus the orders currently being held for a
+//! decision. Resident state is `O(active tasks + drivers)`, never
+//! `O(trace)`; results leave through a [`StreamSink`] as they are decided.
+//!
+//! # Byte-identity with the materialized engines
+//!
+//! The streaming engine is not an approximation. Fed the same orders it
+//! produces **byte-identical** results to the materialized paths, because
+//! it runs literally the same code:
+//!
+//! - instant mode ([`StreamPolicy::Instant`]) drives each published order
+//!   through the same candidate generator + policy step as
+//!   [`crate::Simulator`],
+//! - batched mode ([`StreamPolicy::Batched`]) closes hold windows through
+//!   the exact `process_window` core the [`crate::BatchEngine`] uses
+//!   (same early-flush epochs, same matcher rounds).
+//!
+//! The facade's `stream_equivalence` oracle suite pins this on the whole
+//! scenario catalog. Two details make it work:
+//!
+//! - **Driver announcements come early.** A materialized engine knows
+//!   every shift up front, and a driver whose shift starts hours from now
+//!   can legally be dispatched an order published *now* (she departs when
+//!   her shift opens). So a stream must announce a driver before the
+//!   first order she could feasibly serve; announcing everyone up front —
+//!   what [`market_events`] and the CLI's `replay` pipeline do — is always
+//!   valid, and driver state is `O(drivers)` by design.
+//! - **Retirement is lossless.** Once the decision clock passes a
+//!   driver's shift end she can never again pass the return-home check,
+//!   so the engine expires her (candidate scans skip her) without any
+//!   observable difference. Held *tasks* retire at their decision epoch:
+//!   instant orders are decided the moment their publish group closes,
+//!   batched orders no later than their window end.
+//!
+//! Same-timestamp orders are decided in task-id order regardless of
+//! arrival order, so delivery reordering within one timestamp cannot
+//! change results (a property test pins this).
+//!
+//! # Examples
+//!
+//! Streaming a materialized market reproduces the simulator exactly:
+//!
+//! ```
+//! use rideshare_core::{Market, MarketBuildOptions};
+//! use rideshare_online::{
+//!     market_events, replay_stream, CollectingSink, MaxMargin, SimulationOptions, Simulator,
+//!     StreamOptions, StreamPolicy,
+//! };
+//! use rideshare_trace::{DriverModel, TraceConfig};
+//!
+//! let trace = TraceConfig::porto()
+//!     .with_seed(9)
+//!     .with_task_count(120)
+//!     .with_driver_count(15, DriverModel::Hitchhiking)
+//!     .generate();
+//! let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+//!
+//! let mut sink = CollectingSink::new();
+//! let summary = replay_stream(
+//!     market.speed(),
+//!     market_events(&market),
+//!     &mut StreamPolicy::Instant(&mut MaxMargin::new()),
+//!     StreamOptions::default(),
+//!     &mut sink,
+//! );
+//! let streamed = sink.into_result();
+//!
+//! let materialized =
+//!     Simulator::new(&market).run(&mut MaxMargin::new(), SimulationOptions::default());
+//! assert_eq!(streamed.dispatch, materialized.dispatch);
+//! assert_eq!(streamed.events, materialized.events);
+//! assert_eq!(summary.served, materialized.served);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rideshare_core::{Assignment, Driver, DriverRoute, Market, Task};
+use rideshare_geo::{BoundingBox, SpeedModel};
+use rideshare_types::{DriverId, TaskId, TimeDelta, Timestamp};
+
+use crate::batch::{process_window, BatchMatcher};
+use crate::candidates::{CandidateEngine, DriverState};
+use crate::policy::DispatchPolicy;
+use crate::simulator::{dispatch_instant, DispatchEvent, SimulationResult};
+
+/// One event of an ordered market stream.
+///
+/// Contract (checked by [`StreamEngine::push`]): task events arrive in
+/// non-decreasing publish order (ties in any order); a driver is announced
+/// before the first task she could feasibly serve (announcing all drivers
+/// up front is always valid); [`StreamEvent::EpochTick`] never moves the
+/// clock backwards.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum StreamEvent {
+    /// A driver announces her shift. Ids must be dense in announcement
+    /// order (`DriverId(k)` is the `k`-th announcement).
+    DriverOnline(Driver),
+    /// A customer order is published, priced and timestamped.
+    TaskPublished(Task),
+    /// A hint that the driver's shift has ended; the engine retires her as
+    /// soon as that is provably lossless (it also does so on its own once
+    /// the clock passes her shift end, so the event is optional).
+    DriverOffline(DriverId),
+    /// Advances the stream clock: asserts every event strictly before the
+    /// instant has been delivered, closing publish groups and hold windows
+    /// that end before it. Lets quiet periods make progress without
+    /// waiting for the next order.
+    EpochTick(Timestamp),
+}
+
+impl StreamEvent {
+    /// The event's own position on the stream clock, if it has one.
+    #[must_use]
+    pub fn timestamp(&self) -> Option<Timestamp> {
+        match self {
+            StreamEvent::TaskPublished(t) => Some(t.publish_time),
+            StreamEvent::EpochTick(t) => Some(*t),
+            StreamEvent::DriverOnline(_) | StreamEvent::DriverOffline(_) => None,
+        }
+    }
+}
+
+/// Where decided orders go. Implementations aggregate (windowed metrics),
+/// collect (the oracle tests' [`CollectingSink`]), or forward — the engine
+/// itself retains nothing per task once it is decided, which is what keeps
+/// replay memory bounded.
+pub trait StreamSink {
+    /// A driver came online (fires before any dispatch can involve her).
+    fn driver_online(&mut self, _driver: &Driver) {}
+    /// `task` was dispatched; `event` carries the full operational record
+    /// (arrival, decision time, wait, deadhead, Eq. 14 margin).
+    fn dispatched(&mut self, _task: &Task, _event: &DispatchEvent) {}
+    /// `task` was rejected at `decision_time` (empty candidate set, policy
+    /// refusal, or unmatched at its batch epoch).
+    fn rejected(&mut self, _task: &Task, _decision_time: Timestamp) {}
+}
+
+/// Options for a streaming replay.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamOptions {
+    /// Maintain a spatial grid index over this service area for candidate
+    /// pruning (lossless — identical results, different cost). `None`
+    /// scans all live drivers linearly.
+    pub grid_bbox: Option<BoundingBox>,
+}
+
+impl StreamOptions {
+    /// Enables grid-pruned candidate generation over `bbox`.
+    #[must_use]
+    pub fn grid(mut self, bbox: BoundingBox) -> Self {
+        self.grid_bbox = Some(bbox);
+        self
+    }
+}
+
+/// How the stream's orders are decided.
+pub enum StreamPolicy<'p> {
+    /// Instant dispatch at publish time through a per-task policy —
+    /// the streaming form of [`crate::Simulator`] (Algs. 3–4).
+    Instant(&'p mut dyn DispatchPolicy),
+    /// Hold orders for `window` and decide jointly — the streaming form of
+    /// [`crate::BatchEngine`], same early-flush epochs and matcher rounds.
+    Batched {
+        /// The hold window `W ≥ 0`.
+        window: TimeDelta,
+        /// The per-round matcher (e.g. [`crate::GreedyPairMatcher`]).
+        matcher: &'p mut dyn BatchMatcher,
+    },
+}
+
+/// Aggregate outcome of a streaming replay, including the high-water marks
+/// that demonstrate the bounded-memory claim.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct StreamSummary {
+    /// Orders consumed from the stream.
+    pub tasks: usize,
+    /// Orders dispatched to a driver.
+    pub served: usize,
+    /// Orders rejected.
+    pub rejected: usize,
+    /// Drivers announced.
+    pub drivers: usize,
+    /// Drivers retired by stream-clock expiry (their shift ended).
+    pub expired_drivers: usize,
+    /// High-water mark of simultaneously *held* (published, undecided)
+    /// orders. Peak resident state is this plus `drivers` — the
+    /// `O(active tasks + drivers)` bound, independent of trace length.
+    pub peak_held_tasks: usize,
+    /// The stream clock when the replay finished.
+    pub clock: Timestamp,
+}
+
+impl StreamSummary {
+    /// Peak resident entities (held orders + driver states): the number
+    /// the bounded-memory acceptance criterion is about.
+    #[must_use]
+    pub fn peak_resident(&self) -> usize {
+        self.peak_held_tasks + self.drivers
+    }
+}
+
+/// What the engine is currently holding.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Hold {
+    /// Nothing pending.
+    Empty,
+    /// An instant-mode publish group, all at this timestamp.
+    Instant(Timestamp),
+    /// A batched-mode hold window closing at this instant.
+    Window(Timestamp),
+}
+
+/// The push-based streaming replay engine. See the module docs for the
+/// model; [`replay_stream`] is the pull-everything convenience wrapper.
+pub struct StreamEngine {
+    speed: SpeedModel,
+    engine: CandidateEngine,
+    drivers: Vec<Driver>,
+    states: Vec<DriverState>,
+    /// Min-heap of `(shift_end, driver)` for lazy lossless retirement.
+    expiry: BinaryHeap<Reverse<(i64, usize)>>,
+    pending: Vec<Task>,
+    hold: Hold,
+    /// Latest instant through which decisions are final; new tasks must
+    /// publish strictly later.
+    decided_through: Option<Timestamp>,
+    /// Greatest event timestamp seen; `None` until the first timestamped
+    /// event (orders may legally publish before the epoch, so zero is not
+    /// a valid starting clock).
+    clock: Option<Timestamp>,
+    tasks: usize,
+    served: usize,
+    rejected: usize,
+    peak_held: usize,
+}
+
+impl StreamEngine {
+    /// Creates an engine with no drivers and nothing pending.
+    #[must_use]
+    pub fn new(speed: SpeedModel, options: StreamOptions) -> Self {
+        Self {
+            speed,
+            engine: CandidateEngine::streaming(speed, options.grid_bbox),
+            drivers: Vec::new(),
+            states: Vec::new(),
+            expiry: BinaryHeap::new(),
+            pending: Vec::new(),
+            hold: Hold::Empty,
+            decided_through: None,
+            clock: None,
+            tasks: 0,
+            served: 0,
+            rejected: 0,
+            peak_held: 0,
+        }
+    }
+
+    /// Orders currently held (published but undecided).
+    #[must_use]
+    pub fn held_tasks(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drivers announced so far.
+    #[must_use]
+    pub fn driver_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Feeds one event. Decisions triggered by it (a publish group or hold
+    /// window closing) flow into `sink`. Pass the *same* `policy` for the
+    /// whole stream — instant and batched holds are not interchangeable
+    /// mid-flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream violates its contract: task events out of
+    /// publish order (or publishing into an already-decided instant), a
+    /// clock tick moving backwards, non-dense driver ids, an unknown
+    /// driver in [`StreamEvent::DriverOffline`], or a `policy` kind that
+    /// contradicts the orders currently held.
+    pub fn push(
+        &mut self,
+        event: StreamEvent,
+        policy: &mut StreamPolicy<'_>,
+        sink: &mut dyn StreamSink,
+    ) {
+        match event {
+            StreamEvent::DriverOnline(driver) => {
+                assert_eq!(
+                    driver.id.index(),
+                    self.drivers.len(),
+                    "driver ids must be dense in announcement order"
+                );
+                sink.driver_online(&driver);
+                self.engine.add_driver(&mut self.states, &driver);
+                self.expiry
+                    .push(Reverse((driver.shift_end.as_secs(), driver.id.index())));
+                self.drivers.push(driver);
+            }
+            StreamEvent::TaskPublished(task) => {
+                let publish = task.publish_time;
+                if let Some(done) = self.decided_through {
+                    assert!(
+                        publish > done,
+                        "stream went backwards: order published at {publish} but decisions are \
+                         final through {done}"
+                    );
+                }
+                // A tick to `t` promised everything before `t` was already
+                // delivered; an order publishing below the clock breaks
+                // that promise (and would invalidate clock-based driver
+                // expiry). Same-instant arrivals are fine.
+                if let Some(clock) = self.clock {
+                    assert!(
+                        publish >= clock,
+                        "stream went backwards: order published at {publish} behind the clock at                          {clock}"
+                    );
+                }
+                match (&*policy, self.hold) {
+                    (StreamPolicy::Instant(_), Hold::Instant(at)) if publish > at => {
+                        self.flush(policy, sink);
+                    }
+                    (StreamPolicy::Batched { .. }, Hold::Window(end)) if publish > end => {
+                        self.flush(policy, sink);
+                    }
+                    _ => {}
+                }
+                if self.hold == Hold::Empty {
+                    self.hold = match policy {
+                        StreamPolicy::Instant(_) => Hold::Instant(publish),
+                        StreamPolicy::Batched { window, .. } => {
+                            assert!(
+                                window.is_non_negative(),
+                                "batch window must be non-negative"
+                            );
+                            Hold::Window(publish + *window)
+                        }
+                    };
+                }
+                self.clock = Some(publish);
+                self.tasks += 1;
+                self.pending.push(task);
+                self.peak_held = self.peak_held.max(self.pending.len());
+            }
+            StreamEvent::DriverOffline(id) => {
+                let d = id.index();
+                assert!(d < self.drivers.len(), "DriverOffline for unknown {id}");
+                // Only retire when provably lossless: no held or future
+                // order can be decided early enough for her to get home
+                // (held orders publish no later than the clock, so the
+                // earliest held publish is the binding floor).
+                let floor = self.pending.first().map(|t| t.publish_time).or(self.clock);
+                if floor.is_some_and(|f| self.drivers[d].shift_end < f) {
+                    self.engine.expire(d);
+                }
+            }
+            StreamEvent::EpochTick(t) => {
+                if let Some(clock) = self.clock {
+                    assert!(t >= clock, "clock tick to {t} behind {clock}");
+                }
+                self.clock = Some(t);
+                match self.hold {
+                    Hold::Instant(at) if at < t => self.flush(policy, sink),
+                    Hold::Window(end) if end < t => self.flush(policy, sink),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Closes whatever is still held and returns the replay summary.
+    #[must_use]
+    pub fn finish(
+        mut self,
+        policy: &mut StreamPolicy<'_>,
+        sink: &mut dyn StreamSink,
+    ) -> StreamSummary {
+        if self.hold != Hold::Empty {
+            self.flush(policy, sink);
+        }
+        StreamSummary {
+            tasks: self.tasks,
+            served: self.served,
+            rejected: self.rejected,
+            drivers: self.drivers.len(),
+            expired_drivers: self.engine.expired_count(),
+            peak_held_tasks: self.peak_held,
+            clock: self.clock.unwrap_or(Timestamp::EPOCH),
+        }
+    }
+
+    /// Decides the currently held group/window.
+    fn flush(&mut self, policy: &mut StreamPolicy<'_>, sink: &mut dyn StreamSink) {
+        let hold = std::mem::replace(&mut self.hold, Hold::Empty);
+        if self.pending.is_empty() {
+            return;
+        }
+        // Retire drivers whose shift ended before any held (or future)
+        // order was even published — they fail the return-home check for
+        // everything from here on, so skipping them cannot change results.
+        let window_start = self.pending[0].publish_time;
+        while let Some(&Reverse((end, d))) = self.expiry.peek() {
+            if Timestamp::from_secs(end) < window_start {
+                self.engine.expire(d);
+                self.expiry.pop();
+            } else {
+                break;
+            }
+        }
+
+        let pending = std::mem::take(&mut self.pending);
+        match (hold, policy) {
+            (Hold::Instant(at), StreamPolicy::Instant(choose)) => {
+                // Same-timestamp orders decide in task-id order, making
+                // intra-timestamp delivery order irrelevant.
+                let mut group = pending;
+                group.sort_by_key(|t| t.id.index());
+                for task in &group {
+                    match dispatch_instant(
+                        &mut self.engine,
+                        &self.drivers,
+                        &mut self.states,
+                        self.speed,
+                        task,
+                        task.publish_time,
+                        &mut **choose,
+                    ) {
+                        Some(event) => {
+                            sink.dispatched(task, &event);
+                            self.served += 1;
+                        }
+                        None => {
+                            sink.rejected(task, task.publish_time);
+                            self.rejected += 1;
+                        }
+                    }
+                }
+                self.decided_through = Some(at);
+            }
+            (Hold::Window(end), StreamPolicy::Batched { matcher, .. }) => {
+                let mut served = 0usize;
+                let mut rejected = 0usize;
+                process_window(
+                    &mut self.engine,
+                    &self.drivers,
+                    &mut self.states,
+                    self.speed,
+                    &pending,
+                    end,
+                    &mut **matcher,
+                    &mut |task, at, decision| match decision {
+                        Some(event) => {
+                            sink.dispatched(task, &event);
+                            served += 1;
+                        }
+                        None => {
+                            sink.rejected(task, at);
+                            rejected += 1;
+                        }
+                    },
+                );
+                self.served += served;
+                self.rejected += rejected;
+                self.decided_through = Some(end);
+            }
+            (held, _) => panic!("policy kind changed mid-stream while holding {held:?}"),
+        }
+    }
+}
+
+/// Replays a whole event stream through `policy` into `sink` — the
+/// one-call form of [`StreamEngine`]. Memory stays
+/// `O(active tasks + drivers)` no matter how long `events` runs; see
+/// [`StreamSummary::peak_resident`] for the realised high-water mark.
+///
+/// # Panics
+///
+/// Panics when the stream violates the ordering contract (see
+/// [`StreamEngine::push`]).
+pub fn replay_stream<I>(
+    speed: SpeedModel,
+    events: I,
+    policy: &mut StreamPolicy<'_>,
+    options: StreamOptions,
+    sink: &mut dyn StreamSink,
+) -> StreamSummary
+where
+    I: IntoIterator<Item = StreamEvent>,
+{
+    let mut engine = StreamEngine::new(speed, options);
+    for event in events {
+        engine.push(event, policy, sink);
+    }
+    engine.finish(policy, sink)
+}
+
+/// The event stream of a materialized market: every driver announced up
+/// front (always a valid announcement order), then every task in publish
+/// order, both re-labelled positionally. Feeding this to [`replay_stream`]
+/// reproduces the corresponding materialized engine byte-for-byte — the
+/// bridge the oracle tests (and any caller migrating to streaming) use.
+#[must_use]
+pub fn market_events(market: &Market) -> Vec<StreamEvent> {
+    let mut events: Vec<StreamEvent> = market
+        .drivers()
+        .iter()
+        .enumerate()
+        .map(|(n, d)| {
+            StreamEvent::DriverOnline(Driver {
+                id: DriverId::new(n as u32),
+                ..*d
+            })
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..market.num_tasks()).collect();
+    order.sort_by_key(|&t| (market.tasks()[t].publish_time, t));
+    events.extend(order.into_iter().map(|t| {
+        StreamEvent::TaskPublished(Task {
+            id: TaskId::new(t as u32),
+            ..market.tasks()[t]
+        })
+    }));
+    events
+}
+
+/// A [`StreamSink`] that collects everything into a full
+/// [`SimulationResult`] — `O(trace)` memory by definition, so this is for
+/// the oracle tests and small runs, not for million-task replays (use an
+/// aggregating sink like `rideshare-metrics`'s `StreamMetrics` there).
+#[derive(Clone, Debug, Default)]
+pub struct CollectingSink {
+    routes: Vec<DriverRoute>,
+    dispatch: Vec<Option<DriverId>>,
+    events: Vec<DispatchEvent>,
+    served: usize,
+    rejected: usize,
+}
+
+impl CollectingSink {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reserve_task(&mut self, idx: usize) {
+        if self.dispatch.len() <= idx {
+            self.dispatch.resize(idx + 1, None);
+        }
+    }
+
+    /// The collected [`SimulationResult`], shaped exactly like the
+    /// materialized engines' output (validate with
+    /// [`crate::validate_online_result`]).
+    #[must_use]
+    pub fn into_result(self) -> SimulationResult {
+        SimulationResult {
+            assignment: Assignment::from_routes(self.routes),
+            served: self.served,
+            rejected: self.rejected,
+            dispatch: self.dispatch,
+            events: self.events,
+        }
+    }
+}
+
+impl StreamSink for CollectingSink {
+    fn driver_online(&mut self, _driver: &Driver) {
+        self.routes.push(DriverRoute::default());
+    }
+
+    fn dispatched(&mut self, task: &Task, event: &DispatchEvent) {
+        self.reserve_task(task.id.index());
+        self.dispatch[task.id.index()] = Some(event.driver);
+        self.routes[event.driver.index()].tasks.push(event.task);
+        self.events.push(*event);
+        self.served += 1;
+    }
+
+    fn rejected(&mut self, task: &Task, _decision_time: Timestamp) {
+        self.reserve_task(task.id.index());
+        self.rejected += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{BatchOptions, GreedyPairMatcher, MatcherKind, OptimalAssignmentMatcher};
+    use crate::policy::{MaxMargin, NearestDriver};
+    use crate::simulator::{SimulationOptions, Simulator};
+    use crate::validate::validate_online_result;
+    use rideshare_core::{Market, MarketBuildOptions};
+    use rideshare_trace::{DriverModel, TraceConfig};
+
+    fn market(seed: u64, tasks: usize, drivers: usize) -> Market {
+        let trace = TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, DriverModel::Hitchhiking)
+            .generate();
+        Market::from_trace(&trace, &MarketBuildOptions::default())
+    }
+
+    fn assert_same(streamed: &SimulationResult, materialized: &SimulationResult) {
+        assert_eq!(streamed.dispatch, materialized.dispatch);
+        assert_eq!(streamed.events, materialized.events);
+        assert_eq!(streamed.served, materialized.served);
+        assert_eq!(streamed.rejected, materialized.rejected);
+        assert_eq!(
+            streamed.assignment.routes(),
+            materialized.assignment.routes()
+        );
+    }
+
+    #[test]
+    fn instant_stream_matches_simulator() {
+        let m = market(81, 150, 20);
+        for use_grid in [false, true] {
+            let mut sink = CollectingSink::new();
+            let options = if use_grid {
+                StreamOptions::default().grid(rideshare_geo::porto::bounding_box())
+            } else {
+                StreamOptions::default()
+            };
+            let summary = replay_stream(
+                m.speed(),
+                market_events(&m),
+                &mut StreamPolicy::Instant(&mut MaxMargin::new()),
+                options,
+                &mut sink,
+            );
+            let streamed = sink.into_result();
+            let materialized =
+                Simulator::new(&m).run(&mut MaxMargin::new(), SimulationOptions::default());
+            assert_same(&streamed, &materialized);
+            validate_online_result(&m, &streamed).unwrap();
+            assert_eq!(summary.tasks, m.num_tasks());
+            assert_eq!(summary.served + summary.rejected, summary.tasks);
+        }
+    }
+
+    #[test]
+    fn instant_stream_matches_seeded_nearest() {
+        let m = market(82, 100, 12);
+        let mut sink = CollectingSink::new();
+        replay_stream(
+            m.speed(),
+            market_events(&m),
+            &mut StreamPolicy::Instant(&mut NearestDriver::with_seed(7)),
+            StreamOptions::default(),
+            &mut sink,
+        );
+        let materialized = Simulator::new(&m).run(
+            &mut NearestDriver::with_seed(7),
+            SimulationOptions::default(),
+        );
+        assert_same(&sink.into_result(), &materialized);
+    }
+
+    #[test]
+    fn batched_stream_matches_batch_engine() {
+        let m = market(83, 120, 18);
+        for mins in [0i64, 2, 10] {
+            for optimal in [false, true] {
+                let window = TimeDelta::from_mins(mins);
+                let mut sink = CollectingSink::new();
+                let mut greedy = GreedyPairMatcher;
+                let mut opt = OptimalAssignmentMatcher;
+                let matcher: &mut dyn BatchMatcher = if optimal { &mut opt } else { &mut greedy };
+                replay_stream(
+                    m.speed(),
+                    market_events(&m),
+                    &mut StreamPolicy::Batched { window, matcher },
+                    StreamOptions::default(),
+                    &mut sink,
+                );
+                let kind = if optimal {
+                    MatcherKind::Optimal
+                } else {
+                    MatcherKind::Greedy
+                };
+                let materialized = crate::batch::run_batched_with(
+                    &m,
+                    BatchOptions::with_window(window).matcher(kind),
+                );
+                assert_same(&sink.into_result(), &materialized);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_ticks_flush_windows_without_changing_results() {
+        let m = market(84, 90, 10);
+        let window = TimeDelta::from_mins(5);
+        // Interleave hourly clock ticks into the stream.
+        let mut events = market_events(&m);
+        let mut ticked = Vec::new();
+        let mut next_tick = Timestamp::from_hours(1);
+        for e in events.drain(..) {
+            if let Some(at) = e.timestamp() {
+                while next_tick <= at {
+                    ticked.push(StreamEvent::EpochTick(next_tick));
+                    next_tick += TimeDelta::from_hours(1);
+                }
+            }
+            ticked.push(e);
+        }
+        ticked.push(StreamEvent::EpochTick(Timestamp::from_hours(30)));
+
+        let mut sink = CollectingSink::new();
+        let mut matcher = GreedyPairMatcher;
+        replay_stream(
+            m.speed(),
+            ticked,
+            &mut StreamPolicy::Batched {
+                window,
+                matcher: &mut matcher,
+            },
+            StreamOptions::default(),
+            &mut sink,
+        );
+        let materialized = crate::batch::run_batched(&m, window);
+        assert_same(&sink.into_result(), &materialized);
+    }
+
+    #[test]
+    fn held_tasks_stay_bounded() {
+        let m = market(85, 400, 25);
+        let mut sink = CollectingSink::new();
+        let mut matcher = GreedyPairMatcher;
+        let summary = replay_stream(
+            m.speed(),
+            market_events(&m),
+            &mut StreamPolicy::Batched {
+                window: TimeDelta::from_mins(3),
+                matcher: &mut matcher,
+            },
+            StreamOptions::default(),
+            &mut sink,
+        );
+        // Resident state is the held window + drivers, far below the trace.
+        assert!(summary.peak_held_tasks > 0);
+        assert!(
+            summary.peak_held_tasks < m.num_tasks() / 4,
+            "peak {} for {} tasks",
+            summary.peak_held_tasks,
+            m.num_tasks()
+        );
+        assert_eq!(summary.peak_resident(), summary.peak_held_tasks + 25);
+    }
+
+    #[test]
+    fn driver_offline_and_expiry_change_nothing() {
+        let m = market(86, 120, 20);
+        // Interleave DriverOffline hints after each driver's shift end.
+        let mut events = Vec::new();
+        let mut offline: Vec<(Timestamp, DriverId)> =
+            m.drivers().iter().map(|d| (d.shift_end, d.id)).collect();
+        offline.sort_by_key(|&(t, id)| (t, id.index()));
+        let mut oi = 0usize;
+        for e in market_events(&m) {
+            if let Some(at) = e.timestamp() {
+                while oi < offline.len() && offline[oi].0 < at {
+                    events.push(StreamEvent::DriverOffline(offline[oi].1));
+                    oi += 1;
+                }
+            }
+            events.push(e);
+        }
+        let mut sink = CollectingSink::new();
+        let summary = replay_stream(
+            m.speed(),
+            events,
+            &mut StreamPolicy::Instant(&mut MaxMargin::new()),
+            StreamOptions::default(),
+            &mut sink,
+        );
+        let materialized =
+            Simulator::new(&m).run(&mut MaxMargin::new(), SimulationOptions::default());
+        assert_same(&sink.into_result(), &materialized);
+        assert!(summary.expired_drivers > 0, "no shift ended mid-stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "stream went backwards")]
+    fn out_of_order_publish_rejected() {
+        let m = market(87, 30, 5);
+        let mut events = market_events(&m);
+        // Swap two task events across different timestamps.
+        let tasks: Vec<usize> = events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e, StreamEvent::TaskPublished(_)))
+            .map(|(i, _)| i)
+            .collect();
+        events.swap(tasks[0], tasks[tasks.len() - 1]);
+        let mut sink = CollectingSink::new();
+        let _ = replay_stream(
+            m.speed(),
+            events,
+            &mut StreamPolicy::Instant(&mut MaxMargin::new()),
+            StreamOptions::default(),
+            &mut sink,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_driver_ids_rejected() {
+        let m = market(88, 5, 2);
+        let mut events = market_events(&m);
+        if let StreamEvent::DriverOnline(d) = &mut events[0] {
+            d.id = DriverId::new(5);
+        }
+        let mut sink = CollectingSink::new();
+        let _ = replay_stream(
+            m.speed(),
+            events,
+            &mut StreamPolicy::Instant(&mut MaxMargin::new()),
+            StreamOptions::default(),
+            &mut sink,
+        );
+    }
+}

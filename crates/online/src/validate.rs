@@ -339,6 +339,7 @@ mod tests {
                 wait: arrival - Timestamp::from_secs(0),
                 deadhead_km: 1.0,
                 candidates: 1,
+                margin: 0.0,
             }],
         };
         (market, result)

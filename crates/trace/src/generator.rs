@@ -31,28 +31,28 @@ const DEFAULT_HOURLY_DEMAND: [f64; 24] = [
 /// ```
 #[derive(Clone, Debug)]
 pub struct TraceConfig {
-    seed: u64,
-    bbox: BoundingBox,
-    hotspots: Vec<(GeoPoint, f64)>,
-    hotspot_sigma_km: f64,
+    pub(crate) seed: u64,
+    pub(crate) bbox: BoundingBox,
+    pub(crate) hotspots: Vec<(GeoPoint, f64)>,
+    pub(crate) hotspot_sigma_km: f64,
     /// Probability that a pickup comes from the hotspot mixture rather than
     /// the uniform background.
-    hotspot_share: f64,
-    task_count: usize,
-    driver_count: usize,
-    driver_model: DriverModel,
-    speed: SpeedModel,
-    distance_km: TruncatedPareto,
-    duration_noise: LogNormal,
-    hourly_demand: [f64; 24],
+    pub(crate) hotspot_share: f64,
+    pub(crate) task_count: usize,
+    pub(crate) driver_count: usize,
+    pub(crate) driver_model: DriverModel,
+    pub(crate) speed: SpeedModel,
+    pub(crate) distance_km: TruncatedPareto,
+    pub(crate) duration_noise: LogNormal,
+    pub(crate) hourly_demand: [f64; 24],
     /// Publish lead time range in minutes (`t̄⁻ₘ − t̄ₘ`).
-    lead_time_mins: (i64, i64),
+    pub(crate) lead_time_mins: (i64, i64),
     /// Relative slack added to each trip's completion window.
-    window_slack_factor: f64,
+    pub(crate) window_slack_factor: f64,
     /// Home-work-home shift length range in hours.
-    shift_hours: (f64, f64),
+    pub(crate) shift_hours: (f64, f64),
     /// Hitchhiking: shift length as a multiple of the direct commute time.
-    hitchhike_slack: (f64, f64),
+    pub(crate) hitchhike_slack: (f64, f64),
 }
 
 impl TraceConfig {
@@ -278,6 +278,20 @@ impl TraceConfig {
 
     fn gen_trip<R: Rng + ?Sized>(&self, rng: &mut R, id: TaskId) -> TripRecord {
         let hour = sample_categorical(rng, &self.hourly_demand);
+        self.gen_trip_in_hour(rng, id, hour)
+    }
+
+    /// Generates one trip whose pickup deadline falls in `hour` — the body
+    /// of [`TraceConfig::generate`]'s per-trip sampling with the hour fixed
+    /// externally, so the streaming generator (`TraceConfig::stream`) can
+    /// emit hours in order. Draw-for-draw identical to `gen_trip` after the
+    /// hour choice.
+    pub(crate) fn gen_trip_in_hour<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        id: TaskId,
+        hour: usize,
+    ) -> TripRecord {
         let within = rng.gen_range(0..3600);
         let pickup_deadline = Timestamp::from_hours(hour as i64) + TimeDelta::from_secs(within);
 
@@ -315,7 +329,7 @@ impl TraceConfig {
         trip
     }
 
-    fn gen_driver<R: Rng + ?Sized>(&self, rng: &mut R, id: DriverId) -> DriverShift {
+    pub(crate) fn gen_driver<R: Rng + ?Sized>(&self, rng: &mut R, id: DriverId) -> DriverShift {
         match self.driver_model {
             DriverModel::HomeWorkHome => {
                 let home = self.bbox.lerp(rng.gen(), rng.gen());

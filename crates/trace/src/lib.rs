@@ -47,6 +47,7 @@ mod generator;
 mod multi_day;
 mod sampler;
 pub mod stats;
+mod stream;
 mod trip;
 
 pub use csv::{drivers_from_csv, drivers_to_csv, trips_from_csv, trips_to_csv};
@@ -54,4 +55,5 @@ pub use driver::{DriverModel, DriverShift};
 pub use generator::{Trace, TraceConfig};
 pub use multi_day::{generate_days, MultiDayTrace};
 pub use sampler::{sample_categorical, LogNormal, TruncatedPareto};
+pub use stream::TraceStream;
 pub use trip::TripRecord;

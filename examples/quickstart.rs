@@ -1,4 +1,8 @@
-//! Quickstart: generate a market, solve it offline and online, compare.
+//! Quickstart: the paper's full workflow on one synthetic day — generate
+//! a Porto market (§VI-A), solve it offline with GA (Alg. 1), replay it
+//! online with maxMargin and Nearest (Algs. 3–4), and score everything
+//! against the LP upper bound `Z_f*` (§III-E) — the miniature form of the
+//! Fig. 5 performance-ratio comparison.
 //!
 //! Run with: `cargo run --release --example quickstart`
 

@@ -64,16 +64,22 @@ pub mod prelude {
     pub use rideshare_core::{
         disjoint_components, lp_upper_bound, performance_ratio, sharded_upper_bound, solve_exact,
         solve_greedy, solve_sharded, Assignment, Driver, DriverRoute, DriverView, ExactOptions,
-        Market, MarketBuildOptions, Objective, Task, UpperBoundOptions,
+        Market, MarketBuildOptions, Objective, StreamPricer, Task, UpperBoundOptions,
     };
     pub use rideshare_geo::{BoundingBox, GeoPoint, SpeedModel};
-    pub use rideshare_metrics::{render_series, render_table, MarketMetrics, Series};
+    pub use rideshare_metrics::{
+        render_series, render_table, MarketMetrics, Series, StreamMetrics,
+    };
     pub use rideshare_online::{
-        run_batched, run_batched_with, validate_online, validate_online_result, BatchEngine,
-        BatchMatcher, BatchOptions, DispatchPolicy, MatcherKind, MaxMargin, NearestDriver,
-        RandomDispatch, SimulationOptions, Simulator,
+        market_events, replay_stream, run_batched, run_batched_with, validate_online,
+        validate_online_result, BatchEngine, BatchMatcher, BatchOptions, CollectingSink,
+        DispatchPolicy, MatcherKind, MaxMargin, NearestDriver, RandomDispatch, SimulationOptions,
+        Simulator, StreamEngine, StreamEvent, StreamOptions, StreamPolicy, StreamSink,
+        StreamSummary,
     };
     pub use rideshare_pricing::{FareModel, SurgeConfig, SurgeEngine, WtpModel};
-    pub use rideshare_trace::{DriverModel, DriverShift, Trace, TraceConfig, TripRecord};
+    pub use rideshare_trace::{
+        DriverModel, DriverShift, Trace, TraceConfig, TraceStream, TripRecord,
+    };
     pub use rideshare_types::{DriverId, Money, TaskId, TimeDelta, Timestamp};
 }

@@ -133,3 +133,35 @@ fn bad_input_reports_errors() {
     assert!(help.status.success());
     assert!(String::from_utf8_lossy(&help.stdout).contains("USAGE"));
 }
+
+#[test]
+fn replay_streams_in_bounded_memory() {
+    // The streaming subcommand end to end: a small synthetic stream,
+    // instant and batched policies, peak-resident line included.
+    for policy in ["margin", "batch-2m"] {
+        let out = cli(&[
+            "replay",
+            "--tasks",
+            "2000",
+            "--drivers",
+            "40",
+            "--seed",
+            "3",
+            "--policy",
+            policy,
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("served"), "{stdout}");
+        assert!(stdout.contains("peak resident state"), "{stdout}");
+        assert!(stdout.contains("tasks/s"), "{stdout}");
+    }
+
+    let bad = cli(&["replay", "--policy", "frobnicate"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown policy"));
+}

@@ -1,0 +1,359 @@
+//! The stream-vs-materialized oracle suite.
+//!
+//! The streaming replay engine's contract is that it is *not a different
+//! dispatcher*: fed the same orders, it produces byte-identical
+//! [`SimulationResult`]s to the materialized [`Simulator`] and
+//! [`BatchEngine`] — same dispatch vector, same event list (arrival,
+//! decision time, wait, deadhead, candidates, margin), same routes — and
+//! every streamed result passes the dispatch-causality law
+//! ([`validate_online_result`]). This file pins that on the **whole
+//! scenario catalog** (instant and batched modes), plus:
+//!
+//! - the full lazy pipeline (`TraceConfig::stream` → [`StreamPricer`] →
+//!   streaming engine) against materialising the same streamed trips into
+//!   a [`Market`] and replaying them conventionally,
+//! - a property test that reordering events *within one timestamp* cannot
+//!   change anything (the engine decides same-instant groups in task-id
+//!   order, so delivery jitter is invisible),
+//! - `#[ignore]`d heavy runs: the porto-large batched matrix and a
+//!   1,000,000-task bounded-memory replay
+//!   (`cargo test --release --test stream_equivalence -- --ignored`).
+
+use proptest::prelude::*;
+
+use rideshare::bench::Scenario;
+use rideshare::online::{GreedyPairMatcher, OptimalAssignmentMatcher, SimulationResult};
+use rideshare::prelude::*;
+
+/// Byte-identity between two results, field by field.
+fn assert_same(streamed: &SimulationResult, materialized: &SimulationResult, ctx: &str) {
+    assert_eq!(streamed.dispatch, materialized.dispatch, "{ctx}: dispatch");
+    assert_eq!(streamed.events, materialized.events, "{ctx}: events");
+    assert_eq!(streamed.served, materialized.served, "{ctx}: served");
+    assert_eq!(streamed.rejected, materialized.rejected, "{ctx}: rejected");
+    assert_eq!(
+        streamed.assignment.routes(),
+        materialized.assignment.routes(),
+        "{ctx}: routes"
+    );
+}
+
+fn stream_instant(market: &Market, policy: &mut dyn DispatchPolicy) -> SimulationResult {
+    let mut sink = CollectingSink::new();
+    let _ = replay_stream(
+        market.speed(),
+        market_events(market),
+        &mut StreamPolicy::Instant(policy),
+        StreamOptions::default(),
+        &mut sink,
+    );
+    sink.into_result()
+}
+
+fn stream_batched(market: &Market, window: TimeDelta, optimal: bool) -> SimulationResult {
+    let mut sink = CollectingSink::new();
+    let mut greedy = GreedyPairMatcher;
+    let mut opt = OptimalAssignmentMatcher;
+    let matcher: &mut dyn BatchMatcher = if optimal { &mut opt } else { &mut greedy };
+    let _ = replay_stream(
+        market.speed(),
+        market_events(market),
+        &mut StreamPolicy::Batched { window, matcher },
+        StreamOptions::default(),
+        &mut sink,
+    );
+    sink.into_result()
+}
+
+/// Every catalog scenario, instant mode: streaming ≡ `Simulator`, for both
+/// online heuristics, and the streamed result is causally valid.
+#[test]
+fn catalog_instant_streaming_oracle() {
+    for scenario in Scenario::catalog() {
+        let market = scenario.build_market();
+        let sim = Simulator::new(&market);
+        let streamed = stream_instant(&market, &mut MaxMargin::new());
+        let materialized = sim.run(&mut MaxMargin::new(), SimulationOptions::default());
+        assert_same(&streamed, &materialized, scenario.name);
+        validate_online_result(&market, &streamed)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+
+        for seed in [0u64, 3] {
+            let streamed = stream_instant(&market, &mut NearestDriver::with_seed(seed));
+            let materialized = sim.run(
+                &mut NearestDriver::with_seed(seed),
+                SimulationOptions::default(),
+            );
+            assert_same(&streamed, &materialized, scenario.name);
+        }
+    }
+}
+
+/// Every catalog scenario, batched mode (greedy matcher, 2-minute window):
+/// streaming ≡ `BatchEngine`.
+#[test]
+fn catalog_batched_streaming_oracle() {
+    for scenario in Scenario::catalog() {
+        let market = scenario.build_market();
+        let window = TimeDelta::from_mins(2);
+        let streamed = stream_batched(&market, window, false);
+        let materialized = run_batched(&market, window);
+        assert_same(&streamed, &materialized, scenario.name);
+        validate_online_result(&market, &streamed)
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+    }
+}
+
+/// The tiny catalog under the full batched matrix (window × matcher),
+/// optimal included.
+#[test]
+fn tiny_catalog_batched_matrix_oracle() {
+    for scenario in Scenario::tiny_catalog() {
+        let market = scenario.build_market();
+        for mins in [0i64, 1, 5, 15] {
+            for optimal in [false, true] {
+                let window = TimeDelta::from_mins(mins);
+                let streamed = stream_batched(&market, window, optimal);
+                let kind = if optimal {
+                    MatcherKind::Optimal
+                } else {
+                    MatcherKind::Greedy
+                };
+                let materialized =
+                    run_batched_with(&market, BatchOptions::with_window(window).matcher(kind));
+                assert_same(
+                    &streamed,
+                    &materialized,
+                    &format!("{} W={mins}m optimal={optimal}", scenario.name),
+                );
+            }
+        }
+    }
+}
+
+/// The full lazy pipeline — streamed trips, streamed prices, streamed
+/// dispatch — against materialising those same trips into a `Market` and
+/// replaying conventionally. This is the end-to-end guarantee behind
+/// `rideshare replay`: laziness changes memory, never results.
+#[test]
+fn lazy_pipeline_matches_materialized_pipeline() {
+    let config = TraceConfig::porto()
+        .with_seed(19)
+        .with_task_count(400)
+        .with_driver_count(30, DriverModel::Hitchhiking);
+    let build = MarketBuildOptions {
+        surge_window: Some(TimeDelta::from_mins(30)),
+        ..MarketBuildOptions::default()
+    };
+
+    // Lazy: generate + price + dispatch one order at a time.
+    let stream = config.stream();
+    let speed = stream.speed();
+    let mut pricer = StreamPricer::new(&build, stream.bounding_box(), speed, stream.drivers());
+    let mut policy = MaxMargin::new();
+    let mut spolicy = StreamPolicy::Instant(&mut policy);
+    let mut sink = CollectingSink::new();
+    let mut engine = StreamEngine::new(speed, StreamOptions::default().grid(stream.bounding_box()));
+    for shift in stream.drivers() {
+        engine.push(
+            StreamEvent::DriverOnline(Driver::from(shift)),
+            &mut spolicy,
+            &mut sink,
+        );
+    }
+    for trip in stream {
+        engine.push(
+            StreamEvent::TaskPublished(pricer.price(&trip)),
+            &mut spolicy,
+            &mut sink,
+        );
+    }
+    let summary = engine.finish(&mut spolicy, &mut sink);
+    let streamed = sink.into_result();
+
+    // Materialized: the same streamed trips, built into a market.
+    let market = Market::from_trace(&config.stream().collect_trace(), &build);
+    let materialized =
+        Simulator::new(&market).run(&mut MaxMargin::new(), SimulationOptions::default());
+
+    assert_same(&streamed, &materialized, "lazy pipeline");
+    validate_online_result(&market, &streamed).unwrap();
+    assert_eq!(summary.tasks, market.num_tasks());
+    assert!(summary.peak_held_tasks <= market.num_tasks() / 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Reordering task events *within the same publish timestamp* changes
+    // nothing: the engine canonicalises same-instant groups by task id.
+    // The demand profile is squeezed into two hours so timestamp ties are
+    // plentiful.
+    #[test]
+    fn same_timestamp_reordering_is_invisible(
+        seed in 0u64..10_000,
+        tasks in 20usize..80,
+        drivers in 1usize..10,
+        rot in 1usize..5,
+        batched in any::<bool>(),
+    ) {
+        let mut demand = [0.0f64; 24];
+        demand[8] = 1.0;
+        demand[9] = 1.0;
+        let mut trace = TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, DriverModel::Hitchhiking)
+            .with_hourly_demand(demand)
+            .generate();
+        // Floor publish times to 10-minute slots: ≥ 20 tasks over ~2 hours
+        // of demand pigeonhole into equal timestamps, guaranteeing ties
+        // (flooring only widens each task's window, so trips stay valid).
+        for trip in &mut trace.trips {
+            let floored = trip.publish_time.as_secs().div_euclid(600) * 600;
+            trip.publish_time = Timestamp::from_secs(floored);
+        }
+        let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+        let events = market_events(&market);
+
+        // Rotate every run of equal-publish task events by `rot`.
+        let mut shuffled = events.clone();
+        let mut i = 0usize;
+        let mut any_tie = false;
+        while i < shuffled.len() {
+            let Some(at) = shuffled[i].timestamp() else { i += 1; continue };
+            let mut j = i + 1;
+            while j < shuffled.len() && shuffled[j].timestamp() == Some(at) {
+                j += 1;
+            }
+            if j - i > 1 {
+                any_tie = true;
+                shuffled[i..j].rotate_left(rot % (j - i));
+            }
+            i = j;
+        }
+
+        let run = |events: Vec<StreamEvent>| {
+            let mut sink = CollectingSink::new();
+            let mut mm = MaxMargin::new();
+            let mut greedy = GreedyPairMatcher;
+            let mut policy = if batched {
+                StreamPolicy::Batched { window: TimeDelta::from_mins(3), matcher: &mut greedy }
+            } else {
+                StreamPolicy::Instant(&mut mm)
+            };
+            let _ = replay_stream(
+                market.speed(),
+                events,
+                &mut policy,
+                StreamOptions::default(),
+                &mut sink,
+            );
+            sink.into_result()
+        };
+        let a = run(events);
+        let b = run(shuffled);
+        prop_assert_eq!(&a.dispatch, &b.dispatch);
+        prop_assert_eq!(&a.events, &b.events);
+        prop_assert_eq!(a.served, b.served);
+        // 20+ tasks in ~13 ten-minute slots: ties are guaranteed, so the
+        // test always exercises real reordering.
+        prop_assert!(any_tie, "no timestamp ties generated");
+    }
+
+    // Random traces, random windows: streamed batched replay stays
+    // byte-identical to the materialized batch engine and causally valid.
+    #[test]
+    fn random_batched_streams_match_materialized(
+        seed in 0u64..10_000,
+        tasks in 1usize..60,
+        drivers in 0usize..8,
+        window_mins in 0i64..30,
+        optimal in any::<bool>(),
+    ) {
+        let trace = TraceConfig::porto()
+            .with_seed(seed)
+            .with_task_count(tasks)
+            .with_driver_count(drivers, DriverModel::Hitchhiking)
+            .generate();
+        let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+        let window = TimeDelta::from_mins(window_mins);
+        let streamed = stream_batched(&market, window, optimal);
+        let kind = if optimal { MatcherKind::Optimal } else { MatcherKind::Greedy };
+        let materialized = run_batched_with(&market, BatchOptions::with_window(window).matcher(kind));
+        prop_assert_eq!(&streamed.dispatch, &materialized.dispatch);
+        prop_assert_eq!(&streamed.events, &materialized.events);
+        prop_assert!(validate_online_result(&market, &streamed).is_ok());
+    }
+}
+
+/// The heavy preset under the optimal matcher — run with
+/// `cargo test --release --test stream_equivalence -- --ignored`.
+#[test]
+#[ignore = "heavy: porto-large × optimal matcher, release only"]
+fn porto_large_optimal_streaming_oracle() {
+    let market = Scenario::by_name("porto-large").unwrap().build_market();
+    for mins in [1i64, 5] {
+        let window = TimeDelta::from_mins(mins);
+        let streamed = stream_batched(&market, window, true);
+        let materialized = run_batched_with(
+            &market,
+            BatchOptions::with_window(window).matcher(MatcherKind::Optimal),
+        );
+        assert_same(&streamed, &materialized, &format!("porto-large W={mins}m"));
+    }
+}
+
+/// The acceptance-criterion run: one million synthetic Porto orders
+/// through the full lazy pipeline in bounded memory. Release only.
+#[test]
+#[ignore = "heavy: 1M-task replay, release only"]
+fn million_task_replay_stays_bounded() {
+    let config = TraceConfig::porto()
+        .with_seed(0)
+        .with_task_count(1_000_000)
+        .with_driver_count(450, DriverModel::Hitchhiking);
+    let build = MarketBuildOptions {
+        surge_window: Some(TimeDelta::from_mins(30)),
+        ..MarketBuildOptions::default()
+    };
+    let stream = config.stream();
+    let speed = stream.speed();
+    let bbox = stream.bounding_box();
+    let mut pricer = StreamPricer::new(&build, bbox, speed, stream.drivers());
+    let mut mm = MaxMargin::new();
+    let mut policy = StreamPolicy::Instant(&mut mm);
+    let mut metrics = StreamMetrics::hourly();
+    let mut engine = StreamEngine::new(speed, StreamOptions::default().grid(bbox));
+    for shift in stream.drivers() {
+        engine.push(
+            StreamEvent::DriverOnline(Driver::from(shift)),
+            &mut policy,
+            &mut metrics,
+        );
+    }
+    let mut stream = config.stream();
+    for trip in stream.by_ref() {
+        engine.push(
+            StreamEvent::TaskPublished(pricer.price(&trip)),
+            &mut policy,
+            &mut metrics,
+        );
+    }
+    let summary = engine.finish(&mut policy, &mut metrics);
+    assert_eq!(summary.tasks, 1_000_000);
+    assert!(summary.served > 0);
+    assert_eq!(metrics.published(), 1_000_000);
+    // The bounded-memory claim, in numbers: held orders never approach the
+    // trace; the trace generator's own buffer stays within a demand hour.
+    assert!(
+        summary.peak_held_tasks < 10_000,
+        "peak held {}",
+        summary.peak_held_tasks
+    );
+    assert!(
+        stream.peak_buffered() < 200_000,
+        "trace buffer {}",
+        stream.peak_buffered()
+    );
+}
