@@ -1,0 +1,148 @@
+//! Criterion bench for the region-sharded parallel streaming engine:
+//! end-to-end throughput of `rideshare replay --shards N` (lazy regional
+//! trace generation → incremental pricing → sharded bounded-memory
+//! dispatch → merged windowed metrics) against the sequential engine on
+//! the *same* regional trace.
+//!
+//! The smoke pass asserts what the determinism battery pins at test scale:
+//! sharded metrics are **exactly equal** (fixed-point `StreamMetrics`
+//! equality, not a tolerance) to the sequential replay's. Timing is
+//! reported, never asserted — the speed-up needs real cores:
+//! `cargo bench --bench sharded_replay` on an N-core machine shows the
+//! `shards/4` row beating `sequential`; on a single-core container the
+//! sequential row wins and the sharded rows measure pure orchestration
+//! overhead. Either way the *baseline to beat* (PR 4's ~200k tasks/s
+//! single-core pipeline) is the `stream_replay` bench next door.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rideshare_core::StreamPricer;
+use rideshare_metrics::StreamMetrics;
+use rideshare_online::{
+    replay_sharded, replay_stream, BoxPartitioner, MaxMargin, ShardOptions, ShardPolicySpec,
+    StreamEvent, StreamOptions, StreamPolicy, StreamSummary,
+};
+use rideshare_trace::{DriverModel, TraceConfig};
+use rideshare_types::TimeDelta;
+
+const TASKS: usize = 20_000;
+const DRIVERS: usize = 300;
+const REGIONS: usize = 4;
+
+fn config() -> TraceConfig {
+    TraceConfig::porto()
+        .with_seed(7)
+        .with_task_count(TASKS)
+        .with_driver_count(DRIVERS, DriverModel::Hitchhiking)
+        .with_regions(REGIONS)
+}
+
+/// The lazy regional pipeline's event stream plus everything the engines
+/// need to consume it.
+fn pipeline_events() -> (rideshare_geo::SpeedModel, StreamOptions, Vec<StreamEvent>) {
+    let config = config();
+    let stream = config.stream();
+    let speed = stream.speed();
+    let bbox = stream.bounding_box();
+    let build = rideshare_core::MarketBuildOptions {
+        surge_window: Some(TimeDelta::from_mins(30)),
+        ..rideshare_core::MarketBuildOptions::default()
+    };
+    let mut pricer = StreamPricer::new(&build, bbox, speed, stream.drivers());
+    let mut events: Vec<StreamEvent> = stream
+        .drivers()
+        .iter()
+        .map(|s| StreamEvent::DriverOnline(rideshare_core::Driver::from(s)))
+        .collect();
+    events.extend(stream.map(|trip| StreamEvent::TaskPublished(pricer.price(&trip))));
+    (speed, StreamOptions::default().grid(bbox), events)
+}
+
+fn run_sequential(
+    speed: rideshare_geo::SpeedModel,
+    options: StreamOptions,
+    events: &[StreamEvent],
+) -> (StreamSummary, StreamMetrics) {
+    let mut metrics = StreamMetrics::hourly();
+    let mut mm = MaxMargin::new();
+    let mut policy = StreamPolicy::Instant(&mut mm);
+    let summary = replay_stream(
+        speed,
+        events.iter().copied(),
+        &mut policy,
+        options,
+        &mut metrics,
+    );
+    (summary, metrics)
+}
+
+fn run_sharded(
+    speed: rideshare_geo::SpeedModel,
+    options: StreamOptions,
+    events: &[StreamEvent],
+    shards: usize,
+) -> (StreamSummary, StreamMetrics) {
+    let partitioner = BoxPartitioner::new(config().region_boxes());
+    let mut metrics = StreamMetrics::hourly();
+    let summary = replay_sharded(
+        speed,
+        events.iter().copied(),
+        ShardPolicySpec::MaxMargin,
+        &partitioner,
+        ShardOptions::new(shards).stream(options).validate(false),
+        &mut metrics,
+    );
+    (summary, metrics)
+}
+
+fn bench_sharded_replay(c: &mut Criterion) {
+    // Smoke invariants (also exercised by `cargo test --benches`): the
+    // sharded replay consumes everything and its merged metrics are
+    // *exactly* the sequential metrics — the byte-identity acceptance
+    // criterion at bench scale.
+    let (speed, options, events) = pipeline_events();
+    let (seq_summary, seq_metrics) = run_sequential(speed, options, &events);
+    assert_eq!(seq_summary.tasks, TASKS);
+    for shards in [2usize, 4] {
+        let (summary, metrics) = run_sharded(speed, options, &events, shards);
+        assert_eq!(summary.tasks, TASKS);
+        assert_eq!(summary.served, seq_summary.served, "shards={shards}");
+        assert_eq!(
+            metrics, seq_metrics,
+            "sharded metrics diverged at {shards} shards"
+        );
+    }
+
+    let mut group = c.benchmark_group("sharded_replay");
+    group.sample_size(10);
+    group.bench_function(
+        BenchmarkId::new("sequential", format!("{TASKS}tasks")),
+        |b| b.iter(|| black_box(run_sequential(speed, options, &events))),
+    );
+    for shards in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("shards", format!("{shards}x{TASKS}tasks")),
+            &shards,
+            |b, &shards| b.iter(|| black_box(run_sharded(speed, options, &events, shards))),
+        );
+    }
+    // The full pipeline (generation + pricing included), sequential vs
+    // 4-shard — the `rideshare replay --shards` wall-clock.
+    group.bench_function(BenchmarkId::new("pipeline", "sequential"), |b| {
+        b.iter(|| {
+            let (speed, options, events) = pipeline_events();
+            black_box(run_sequential(speed, options, &events))
+        })
+    });
+    group.bench_function(BenchmarkId::new("pipeline", "4shards"), |b| {
+        b.iter(|| {
+            let (speed, options, events) = pipeline_events();
+            black_box(run_sharded(speed, options, &events, 4))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_replay);
+criterion_main!(benches);

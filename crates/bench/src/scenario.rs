@@ -187,8 +187,34 @@ impl Scenario {
                     days: 1,
                 },
             },
+            Scenario {
+                name: "porto-regions",
+                summary: "four disjoint service regions (legal sharding partition by construction)",
+                kind: ScenarioKind::Trace {
+                    config: Box::new(
+                        TraceConfig::porto()
+                            .with_seed(18)
+                            .with_task_count(400)
+                            .with_driver_count(60, DriverModel::Hitchhiking)
+                            .with_regions(4),
+                    ),
+                    build: MarketBuildOptions::default(),
+                    days: 1,
+                },
+            },
         ]);
         out
+    }
+
+    /// The trace generator behind a trace-backed scenario — region-tagged
+    /// scenarios expose it so sharding consumers can recover the region
+    /// boxes (`TraceConfig::region_boxes`) that make their partition legal.
+    #[must_use]
+    pub fn trace_config(&self) -> Option<&TraceConfig> {
+        match &self.kind {
+            ScenarioKind::Trace { config, .. } => Some(config),
+            ScenarioKind::Tightness { .. } => None,
+        }
     }
 
     /// The tiny sub-catalog used by the golden regression tests and the CI

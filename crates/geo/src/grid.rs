@@ -106,6 +106,18 @@ impl<T: Copy + PartialEq> GridIndex<T> {
         self.bbox
     }
 
+    /// Number of rows (latitude axis).
+    #[must_use]
+    pub const fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Number of columns (longitude axis).
+    #[must_use]
+    pub const fn cols(&self) -> u16 {
+        self.cols
+    }
+
     /// Maps a point to its cell id (out-of-box points clamp to the border).
     #[must_use]
     pub fn cell_of(&self, point: GeoPoint) -> CellId {

@@ -1,4 +1,4 @@
-//! Incremental, windowed metrics for streaming replay.
+//! Incremental, windowed, **mergeable** metrics for streaming replay.
 //!
 //! [`crate::MarketMetrics`] and [`crate::HourlyBreakdown`] need the whole
 //! market and result in memory. A million-task streaming replay has
@@ -15,6 +15,24 @@
 //! without ever touching a [`rideshare_core::Market`] — a property the
 //! facade's stream-equivalence suite checks against the materialised
 //! objective.
+//!
+//! # Merging, and why the accumulators are fixed-point
+//!
+//! The region-sharded replay engine folds one [`StreamMetrics`] per shard
+//! into a whole-stream report via [`StreamMetrics::merge`]. For the fold
+//! to be trustworthy it must be **associative, commutative, and equal to
+//! accumulating the whole stream in one place** — *exactly*, not up to a
+//! tolerance, because the sharded engine's contract is byte-identity.
+//! Plain `f64 +=` cannot deliver that: float addition is not associative,
+//! so per-shard sums folded in any order drift from the sequential sum in
+//! the last bits. Every monetary/distance accumulator here is therefore a
+//! 128-bit fixed-point integer ([`FixedSum`]): each incoming `f64` is
+//! quantised once (2⁻⁴⁰ resolution — sub-picocent, far below [`Money`]'s
+//! own 10⁻⁴ tolerance) and summation becomes integer addition, which is
+//! order-independent by construction. Waits accumulate as whole seconds.
+//! Two metrics built from the same decisions in any grouping are `==`.
+//!
+//! [`Money`]: rideshare_types::Money
 //!
 //! # Examples
 //!
@@ -50,6 +68,31 @@ use rideshare_types::{TimeDelta, Timestamp};
 
 use crate::table::render_table;
 
+/// An order-independent sum of `f64` values: each addend is quantised once
+/// to a 2⁻⁴⁰ grid and accumulated in `i128`, so `a + (b + c)` and
+/// `(a + b) + c` are the same integer — the property that makes
+/// [`StreamMetrics::merge`] exact (see the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct FixedSum(i128);
+
+/// 2⁴⁰: ~9.1 × 10⁻¹³ resolution per addend.
+const FIXED_SCALE: f64 = (1u64 << 40) as f64;
+
+impl FixedSum {
+    fn add(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite metric value");
+        self.0 += (x * FIXED_SCALE).round() as i128;
+    }
+
+    fn merge(&mut self, other: FixedSum) {
+        self.0 += other.0;
+    }
+
+    fn as_f64(self) -> f64 {
+        self.0 as f64 / FIXED_SCALE
+    }
+}
+
 /// One time bucket of streamed market activity.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct StreamBucket {
@@ -57,13 +100,23 @@ pub struct StreamBucket {
     pub published: usize,
     /// Of those, orders dispatched.
     pub served: usize,
-    /// Revenue (Σ `pₘ`) of the served orders.
-    pub revenue: f64,
-    /// Profit (Σ Eq. 14 margins) of the served orders.
-    pub profit: f64,
+    revenue: FixedSum,
+    profit: FixedSum,
 }
 
 impl StreamBucket {
+    /// Revenue (Σ `pₘ`) of this bucket's served orders.
+    #[must_use]
+    pub fn revenue(&self) -> f64 {
+        self.revenue.as_f64()
+    }
+
+    /// Profit (Σ Eq. 14 margins) of this bucket's served orders.
+    #[must_use]
+    pub fn profit(&self) -> f64 {
+        self.profit.as_f64()
+    }
+
     /// Served fraction of this bucket's demand (0 when no demand).
     #[must_use]
     pub fn service_rate(&self) -> f64 {
@@ -73,20 +126,28 @@ impl StreamBucket {
             self.served as f64 / self.published as f64
         }
     }
+
+    fn merge(&mut self, other: &StreamBucket) {
+        self.published += other.published;
+        self.served += other.served;
+        self.revenue.merge(other.revenue);
+        self.profit.merge(other.profit);
+    }
 }
 
 /// The incremental accumulator: totals, a time-bucketed activity table,
 /// and per-driver income, fed through the [`StreamSink`] callbacks.
-#[derive(Clone, Debug)]
+/// Mergeable — see [`StreamMetrics::merge`].
+#[derive(Clone, PartialEq, Debug)]
 pub struct StreamMetrics {
     bucket_len: TimeDelta,
     buckets: Vec<StreamBucket>,
     totals: StreamBucket,
     rejected: usize,
-    wait_mins_sum: f64,
-    deadhead_km: f64,
+    wait_secs_sum: i64,
+    deadhead_km: FixedSum,
     /// Per-driver income (Σ margins), indexed by driver.
-    income: Vec<f64>,
+    income: Vec<FixedSum>,
     /// Per-driver served-task counts.
     tasks_per_driver: Vec<u32>,
 }
@@ -108,8 +169,8 @@ impl StreamMetrics {
             buckets: Vec::new(),
             totals: StreamBucket::default(),
             rejected: 0,
-            wait_mins_sum: 0.0,
-            deadhead_km: 0.0,
+            wait_secs_sum: 0,
+            deadhead_km: FixedSum::default(),
             income: Vec::new(),
             tasks_per_driver: Vec::new(),
         }
@@ -119,6 +180,52 @@ impl StreamMetrics {
     #[must_use]
     pub fn hourly() -> Self {
         Self::with_bucket(TimeDelta::from_hours(1))
+    }
+
+    /// Folds `other` into `self`. The two must use the same bucket length.
+    ///
+    /// The fold is **associative and commutative, and exact**: merging any
+    /// partition of a decision stream (e.g. one accumulator per region
+    /// shard) in any order compares `==` to accumulating the whole stream
+    /// into one instance — integer accumulators make reordering invisible
+    /// (module docs). This is what lets the region-sharded replay engine
+    /// report whole-stream metrics without ever serialising decisions
+    /// through a single accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket lengths differ.
+    pub fn merge(&mut self, other: &StreamMetrics) {
+        assert_eq!(
+            self.bucket_len, other.bucket_len,
+            "cannot merge metrics with different bucket lengths"
+        );
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets
+                .resize(other.buckets.len(), StreamBucket::default());
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            b.merge(o);
+        }
+        self.totals.merge(&other.totals);
+        self.rejected += other.rejected;
+        self.wait_secs_sum += other.wait_secs_sum;
+        self.deadhead_km.merge(other.deadhead_km);
+        if self.income.len() < other.income.len() {
+            self.income.resize(other.income.len(), FixedSum::default());
+            self.tasks_per_driver
+                .resize(other.tasks_per_driver.len(), 0);
+        }
+        for (i, o) in self.income.iter_mut().zip(&other.income) {
+            i.merge(*o);
+        }
+        for (t, o) in self
+            .tasks_per_driver
+            .iter_mut()
+            .zip(&other.tasks_per_driver)
+        {
+            *t += *o;
+        }
     }
 
     fn bucket_mut(&mut self, at: Timestamp) -> &mut StreamBucket {
@@ -166,26 +273,27 @@ impl StreamMetrics {
     /// Total revenue (Σ `pₘ`) of served orders — Fig. 6's metric, live.
     #[must_use]
     pub fn revenue(&self) -> f64 {
-        self.totals.revenue
+        self.totals.revenue()
     }
 
     /// Total profit so far: Σ Eq. 14 margins, which telescopes to the
     /// materialised Eq. 4 objective.
     #[must_use]
     pub fn profit(&self) -> f64 {
-        self.totals.profit
+        self.totals.profit()
     }
 
     /// Mean rider wait over served orders, in minutes.
     #[must_use]
     pub fn mean_wait_mins(&self) -> Option<f64> {
-        (self.totals.served > 0).then(|| self.wait_mins_sum / self.totals.served as f64)
+        (self.totals.served > 0)
+            .then(|| self.wait_secs_sum as f64 / 60.0 / self.totals.served as f64)
     }
 
     /// Total empty kilometres driven to reach pickups.
     #[must_use]
     pub fn total_deadhead_km(&self) -> f64 {
-        self.deadhead_km
+        self.deadhead_km.as_f64()
     }
 
     /// Drivers that served at least one order.
@@ -199,7 +307,7 @@ impl StreamMetrics {
     #[must_use]
     pub fn mean_income_per_active_driver(&self) -> Option<f64> {
         let active = self.active_drivers();
-        (active > 0).then(|| self.income.iter().sum::<f64>() / active as f64)
+        (active > 0).then(|| self.income.iter().map(|i| i.as_f64()).sum::<f64>() / active as f64)
     }
 
     /// Mean served tasks per active driver (Fig. 9's metric).
@@ -217,8 +325,8 @@ impl StreamMetrics {
 
     /// Per-driver income (Σ margins), indexed by driver id.
     #[must_use]
-    pub fn incomes(&self) -> &[f64] {
-        &self.income
+    pub fn incomes(&self) -> Vec<f64> {
+        self.income.iter().map(|i| i.as_f64()).collect()
     }
 
     /// Renders the non-empty time buckets as an aligned text table
@@ -238,8 +346,8 @@ impl StreamMetrics {
                     b.published.to_string(),
                     b.served.to_string(),
                     format!("{:.3}", b.service_rate()),
-                    format!("{:.2}", b.revenue),
-                    format!("{:.2}", b.profit),
+                    format!("{:.2}", b.revenue()),
+                    format!("{:.2}", b.profit()),
                 ]
             })
             .collect();
@@ -254,7 +362,7 @@ impl StreamSink for StreamMetrics {
     fn driver_online(&mut self, driver: &Driver) {
         let idx = driver.id.index();
         if self.income.len() <= idx {
-            self.income.resize(idx + 1, 0.0);
+            self.income.resize(idx + 1, FixedSum::default());
             self.tasks_per_driver.resize(idx + 1, 0);
         }
     }
@@ -263,16 +371,16 @@ impl StreamSink for StreamMetrics {
         let b = self.bucket_mut(task.publish_time);
         b.published += 1;
         b.served += 1;
-        b.revenue += task.price.as_f64();
-        b.profit += event.margin;
+        b.revenue.add(task.price.as_f64());
+        b.profit.add(event.margin);
         self.totals.published += 1;
         self.totals.served += 1;
-        self.totals.revenue += task.price.as_f64();
-        self.totals.profit += event.margin;
-        self.wait_mins_sum += event.wait.as_mins_f64();
-        self.deadhead_km += event.deadhead_km;
+        self.totals.revenue.add(task.price.as_f64());
+        self.totals.profit.add(event.margin);
+        self.wait_secs_sum += event.wait.as_secs();
+        self.deadhead_km.add(event.deadhead_km);
         let d = event.driver.index();
-        self.income[d] += event.margin;
+        self.income[d].add(event.margin);
         self.tasks_per_driver[d] += 1;
     }
 
@@ -332,7 +440,7 @@ mod tests {
             (metrics.mean_wait_mins().unwrap() - materialized.mean_wait_mins().unwrap()).abs()
                 < 1e-9
         );
-        assert!((metrics.total_deadhead_km() - materialized.total_deadhead_km()).abs() < 1e-9);
+        assert!((metrics.total_deadhead_km() - materialized.total_deadhead_km()).abs() < 1e-6);
     }
 
     #[test]
@@ -340,7 +448,7 @@ mod tests {
         let (_, metrics) = run(92, 300, 15);
         let published: usize = metrics.buckets().iter().map(|b| b.published).sum();
         let served: usize = metrics.buckets().iter().map(|b| b.served).sum();
-        let profit: f64 = metrics.buckets().iter().map(|b| b.profit).sum();
+        let profit: f64 = metrics.buckets().iter().map(|b| b.profit()).sum();
         assert_eq!(published, metrics.published());
         assert_eq!(served, metrics.served());
         assert!((profit - metrics.profit()).abs() < 1e-9);
@@ -374,6 +482,68 @@ mod tests {
         assert_eq!(metrics.service_rate(), 0.0);
         assert!(metrics.mean_wait_mins().is_none());
         assert!(metrics.mean_income_per_active_driver().is_none());
+    }
+
+    #[test]
+    fn merge_of_a_partition_is_exact() {
+        // Split one replay's decisions across two accumulators by task
+        // parity; the fold must equal the whole-stream accumulator
+        // *exactly* (PartialEq, not a tolerance) in either merge order.
+        let trace = TraceConfig::porto()
+            .with_seed(96)
+            .with_task_count(250)
+            .with_driver_count(20, DriverModel::Hitchhiking)
+            .generate();
+        let market = Market::from_trace(&trace, &MarketBuildOptions::default());
+        let mut whole = StreamMetrics::hourly();
+        let mut sink = rideshare_online::CollectingSink::new();
+        let _ = replay_stream(
+            market.speed(),
+            market_events(&market),
+            &mut StreamPolicy::Instant(&mut MaxMargin::new()),
+            StreamOptions::default(),
+            &mut sink,
+        );
+        let result = sink.into_result();
+
+        let mut parts = [StreamMetrics::hourly(), StreamMetrics::hourly()];
+        for p in &mut parts {
+            for d in market.drivers() {
+                p.driver_online(d);
+            }
+        }
+        // Feed the whole accumulator and the partition from the same
+        // decision records.
+        for d in market.drivers() {
+            whole.driver_online(d);
+        }
+        for e in &result.events {
+            let task = &market.tasks()[e.task.index()];
+            whole.dispatched(task, e);
+            parts[e.task.index() % 2].dispatched(task, e);
+        }
+        for (t, d) in result.dispatch.iter().enumerate() {
+            if d.is_none() {
+                let task = &market.tasks()[t];
+                StreamSink::rejected(&mut whole, task, task.publish_time);
+                StreamSink::rejected(&mut parts[t % 2], task, task.publish_time);
+            }
+        }
+
+        let mut ab = parts[0].clone();
+        ab.merge(&parts[1]);
+        let mut ba = parts[1].clone();
+        ba.merge(&parts[0]);
+        assert_eq!(ab, whole, "merge differs from whole-stream accumulation");
+        assert_eq!(ba, whole, "merge is not commutative");
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket lengths")]
+    fn merging_mismatched_buckets_rejected() {
+        let mut a = StreamMetrics::hourly();
+        let b = StreamMetrics::with_bucket(TimeDelta::from_mins(30));
+        a.merge(&b);
     }
 
     #[test]

@@ -36,6 +36,16 @@ use rideshare_types::Timestamp;
 
 use crate::policy::Candidate;
 
+/// Grid resolution used by every candidate engine.
+const GRID_ROWS: u16 = 16;
+/// Grid resolution used by every candidate engine.
+const GRID_COLS: u16 = 16;
+
+/// Tag bit marking a grid entry as a ghost (a compacted driver's frozen
+/// projected location, visible to [`CandidateEngine::latest_decision`] but
+/// never to candidate generation). Real driver indices stay below this.
+const GHOST_BIT: u32 = 1 << 31;
+
 /// Per-driver projected state during a replay (shared by the per-task
 /// simulator, the batch engine, and the streaming engine).
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +75,16 @@ pub(crate) struct CandidateEngine {
     /// feasibility by design — sees exactly the same driver set as a
     /// materialized engine would.
     expired: Vec<bool>,
+    /// Frozen projected locations of *compacted* expired drivers. A
+    /// compacted driver is gone from candidate generation (her record and
+    /// state are freed), but `latest_decision` deliberately ignores
+    /// feasibility, so dropping her location would move early-flush epochs
+    /// away from what a materialized [`crate::BatchEngine`] (which never
+    /// expires anyone) computes — the subtle case the module docs describe.
+    /// Ghosts keep exactly the data `latest_decision` needs (one point) and
+    /// nothing else. Instant-mode compaction skips ghosts entirely:
+    /// `latest_decision` is never consulted there.
+    ghosts: Vec<GeoPoint>,
 }
 
 impl CandidateEngine {
@@ -87,8 +107,9 @@ impl CandidateEngine {
     pub(crate) fn streaming(speed: SpeedModel, bbox: Option<BoundingBox>) -> Self {
         Self {
             speed,
-            grid: bbox.map(|b| GridIndex::new(b, 16, 16)),
+            grid: bbox.map(|b| GridIndex::new(b, GRID_ROWS, GRID_COLS)),
             expired: Vec::new(),
+            ghosts: Vec::new(),
         }
     }
 
@@ -111,14 +132,71 @@ impl CandidateEngine {
     /// Marks driver `d` as expired. Only call when the decision clock has
     /// provably passed her shift end — then every future candidacy would
     /// fail the return-home check anyway, so the flag is pure work-skipping
-    /// and results stay byte-identical.
-    pub(crate) fn expire(&mut self, d: usize) {
+    /// and results stay byte-identical. Returns `true` if the flag was
+    /// newly set (callers keep cumulative counts across compactions).
+    pub(crate) fn expire(&mut self, d: usize) -> bool {
+        let newly = !self.expired[d];
         self.expired[d] = true;
+        newly
     }
 
-    /// Number of drivers currently marked expired.
+    /// Number of drivers currently marked expired (and not yet compacted).
+    /// (The stream engine tracks this arithmetically on its hot path; the
+    /// scan remains as the tests' ground truth.)
+    #[cfg(test)]
     pub(crate) fn expired_count(&self) -> usize {
         self.expired.iter().filter(|&&e| e).count()
+    }
+
+    /// Frozen locations of compacted drivers (kept for
+    /// [`CandidateEngine::latest_decision`] parity in batched mode).
+    pub(crate) fn ghost_locations(&self) -> &[GeoPoint] {
+        &self.ghosts
+    }
+
+    /// Garbage-collects every expired driver: her state is removed from the
+    /// dense vectors and the spatial index, and surviving drivers are
+    /// renumbered compactly. Returns the old→new index mapping (`None` for
+    /// removed drivers) so the caller can remap its own per-driver tables.
+    ///
+    /// With `keep_ghosts` each removed driver leaves a frozen location
+    /// behind for [`CandidateEngine::latest_decision`] — required for
+    /// byte-identity with a materialized [`crate::BatchEngine`], which
+    /// never expires anyone (see the `ghosts` field docs). Without it the
+    /// location vanishes too; only lossless when `latest_decision` is never
+    /// consulted (instant-mode streaming).
+    pub(crate) fn compact(
+        &mut self,
+        states: &mut Vec<DriverState>,
+        keep_ghosts: bool,
+    ) -> Vec<Option<usize>> {
+        let old_len = states.len();
+        let mut remap: Vec<Option<usize>> = Vec::with_capacity(old_len);
+        let mut kept: Vec<DriverState> = Vec::with_capacity(old_len);
+        for (d, st) in states.iter().enumerate() {
+            if self.expired[d] {
+                if keep_ghosts {
+                    self.ghosts.push(st.location);
+                }
+                remap.push(None);
+            } else {
+                remap.push(Some(kept.len()));
+                kept.push(*st);
+            }
+        }
+        *states = kept;
+        self.expired = vec![false; states.len()];
+        if let Some(old) = self.grid.as_ref() {
+            let mut grid = GridIndex::new(old.bounding_box(), GRID_ROWS, GRID_COLS);
+            for (d, st) in states.iter().enumerate() {
+                grid.insert(st.location, d as u32);
+            }
+            for (g, &loc) in self.ghosts.iter().enumerate() {
+                grid.insert(loc, GHOST_BIT | g as u32);
+            }
+            self.grid = Some(grid);
+        }
+        remap
     }
 
     /// Every driver who can feasibly serve `task` when the dispatch
@@ -155,6 +233,9 @@ impl CandidateEngine {
                     task.pickup_deadline - decision_time + rideshare_types::TimeDelta::from_secs(1);
                 let radius = self.speed.reachable_km(budget);
                 for d in g.query_radius_coarse(task.origin, radius) {
+                    if d & GHOST_BIT != 0 {
+                        continue; // ghosts never generate candidates
+                    }
                     out.extend(self.evaluate(drivers, states, task, decision_time, d as usize));
                 }
             }
@@ -244,7 +325,8 @@ impl CandidateEngine {
     /// Expired drivers are **not** skipped here: this bound deliberately
     /// ignores feasibility, and including them keeps streamed epochs
     /// byte-identical to a materialized [`crate::BatchEngine`] (which
-    /// never expires anyone).
+    /// never expires anyone). For the same reason *compacted* drivers still
+    /// count through their frozen ghost locations.
     pub(crate) fn latest_decision(
         &self,
         states: &[DriverState],
@@ -253,8 +335,8 @@ impl CandidateEngine {
     ) -> Timestamp {
         let speed = self.speed;
         let mut best = task.publish_time;
-        let mut consider = |d: usize| {
-            let latest = task.pickup_deadline - speed.travel_time(states[d].location, task.origin);
+        let mut consider = |loc: GeoPoint| {
+            let latest = task.pickup_deadline - speed.travel_time(loc, task.origin);
             if latest > best {
                 best = latest;
             }
@@ -269,12 +351,19 @@ impl CandidateEngine {
                     + rideshare_types::TimeDelta::from_secs(1);
                 let radius = speed.reachable_km(budget);
                 for d in g.query_radius_coarse(task.origin, radius) {
-                    consider(d as usize);
+                    if d & GHOST_BIT != 0 {
+                        consider(self.ghosts[(d & !GHOST_BIT) as usize]);
+                    } else {
+                        consider(states[d as usize].location);
+                    }
                 }
             }
             None => {
-                for d in 0..states.len() {
-                    consider(d);
+                for st in states {
+                    consider(st.location);
+                }
+                for &loc in &self.ghosts {
+                    consider(loc);
                 }
             }
         }
@@ -439,6 +528,99 @@ mod tests {
                 batch.candidates_at(m.drivers(), &batch_states, task, at),
                 inc.candidates_at(m.drivers(), &inc_states, task, at),
                 "task {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_keeps_latest_decision_only_through_ghosts() {
+        // The subtle case the module docs warn about: an *expired* driver
+        // can still determine a later task's early-flush epoch, because
+        // `latest_decision` deliberately ignores feasibility. Compacting
+        // her with a ghost preserves the epoch bit-for-bit; dropping her
+        // outright moves it — which is why batched-mode compaction must
+        // keep ghosts (and instant mode, which never consults
+        // `latest_decision`, may drop them).
+        use rideshare_types::{TimeDelta, Timestamp};
+        let speed = rideshare_geo::SpeedModel::urban();
+        let origin = GeoPoint::new(41.15, -8.61);
+        let near_expired = Driver {
+            id: rideshare_types::DriverId::new(0),
+            source: origin.offset_km(0.3, 0.0), // ~1 min from the pickup
+            destination: origin,
+            shift_start: Timestamp::EPOCH,
+            shift_end: Timestamp::from_hours(1), // long gone by publish
+            model: rideshare_trace::DriverModel::Hitchhiking,
+        };
+        let far_live = Driver {
+            id: rideshare_types::DriverId::new(1),
+            source: origin.offset_km(0.0, 4.0), // ~13 min away
+            destination: origin.offset_km(0.0, 4.0),
+            shift_start: Timestamp::EPOCH,
+            shift_end: Timestamp::from_hours(24),
+            model: rideshare_trace::DriverModel::HomeWorkHome,
+        };
+        let task = Task {
+            id: rideshare_types::TaskId::new(0),
+            publish_time: Timestamp::from_hours(10),
+            origin,
+            destination: origin.offset_km(1.0, 1.0),
+            pickup_deadline: Timestamp::from_hours(10) + TimeDelta::from_mins(15),
+            completion_deadline: Timestamp::from_hours(10) + TimeDelta::from_mins(40),
+            duration: TimeDelta::from_mins(10),
+            price: rideshare_types::Money::new(10.0),
+            valuation: rideshare_types::Money::new(12.0),
+            service_cost: rideshare_types::Money::new(1.0),
+        };
+        let cap = task.pickup_deadline;
+
+        for use_grid in [false, true] {
+            let bbox = use_grid.then(|| BoundingBox::new(41.0, 41.3, -8.8, -8.3));
+            let mut reference = CandidateEngine::streaming(speed, bbox);
+            let mut states = Vec::new();
+            reference.add_driver(&mut states, &near_expired);
+            reference.add_driver(&mut states, &far_live);
+            let baseline = reference.latest_decision(&states, &task, cap);
+            // The near (but long-expired) driver determines the epoch.
+            assert!(
+                baseline > task.pickup_deadline - TimeDelta::from_mins(5),
+                "baseline epoch {baseline} not driven by the near driver"
+            );
+
+            let compacted = |keep_ghosts: bool| {
+                let mut engine = reference.clone();
+                let mut st = states.clone();
+                assert!(engine.expire(0));
+                assert!(!engine.expire(0), "second expiry must not re-count");
+                let remap = engine.compact(&mut st, keep_ghosts);
+                assert_eq!(remap, vec![None, Some(0)]);
+                assert_eq!(engine.expired_count(), 0);
+                (engine, st)
+            };
+
+            let (ghosted, ghost_states) = compacted(true);
+            assert_eq!(ghosted.ghost_locations().len(), 1);
+            assert_eq!(
+                ghosted.latest_decision(&ghost_states, &task, cap),
+                baseline,
+                "ghost must preserve the epoch (grid={use_grid})"
+            );
+
+            let (dropped, drop_states) = compacted(false);
+            assert_eq!(dropped.ghost_locations().len(), 0);
+            assert_ne!(
+                dropped.latest_decision(&drop_states, &task, cap),
+                baseline,
+                "dropping the location should move the epoch (grid={use_grid})"
+            );
+
+            // Candidate generation is identical either way: ghosts are
+            // invisible to it, and the surviving driver was renumbered the
+            // same. (The live far driver is the only candidate.)
+            let live = vec![far_live];
+            assert_eq!(
+                ghosted.candidates_at(&live, &ghost_states, &task, task.publish_time),
+                dropped.candidates_at(&live, &drop_states, &task, task.publish_time),
             );
         }
     }

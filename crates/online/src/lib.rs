@@ -27,7 +27,17 @@
 //!   [`StreamEvent`] iterator instead of a materialised market, with
 //!   resident state `O(active tasks + drivers)` and results flowing out
 //!   through a [`StreamSink`]; byte-identical to the simulator and the
-//!   batch engine on the same orders (the oracle tests pin this),
+//!   batch engine on the same orders (the oracle tests pin this), with
+//!   lossless garbage-collection of expired drivers
+//!   (`StreamOptions::compact_threshold`),
+//! - [`ShardedStreamEngine`] / [`replay_sharded`]: **region-sharded
+//!   parallel streaming** — the online analogue of the §IV lossless
+//!   decomposition: events route through a pluggable [`RegionPartitioner`]
+//!   to N worker shards each running an unmodified [`StreamEngine`], with
+//!   globally anchored batch windows, a deterministic task-id-ordered
+//!   merge, and a debug-mode validator for the no-cross-shard-interaction
+//!   proof obligation; byte-identical to [`replay_stream`] on legal
+//!   partitions (the `shard_determinism` battery pins this),
 //! - [`validate_online`]: feasibility checking under *actual* (simulated)
 //!   timing rather than the offline task-map deadlines, and
 //!   [`validate_online_result`]: the same plus the dispatch-causality law
@@ -59,6 +69,7 @@
 mod batch;
 mod candidates;
 mod policy;
+mod shard;
 mod simulator;
 mod stream;
 mod validate;
@@ -69,6 +80,10 @@ pub use batch::{
 };
 pub use policy::{
     Candidate, DispatchPolicy, MaxMargin, NearestDriver, RandomDispatch, WeightedScore,
+};
+pub use shard::{
+    replay_sharded, BoxPartitioner, GridHashPartitioner, PolicyHolder, RegionPartitioner,
+    ShardOptions, ShardPolicySpec, ShardedStreamEngine,
 };
 pub use simulator::{DispatchEvent, SimulationOptions, SimulationResult, Simulator};
 pub use stream::{

@@ -5,6 +5,16 @@ use rand::{Rng, SeedableRng};
 
 use rideshare_types::Timestamp;
 
+/// The splitmix64 finalizer: a cheap, high-quality bit mixer used to derive
+/// decision-local pseudo-random choices from candidate-set data alone (and
+/// by the sharding layer to spread grid cells across shards).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// One feasible candidate driver for an arriving task, as assembled by the
 /// simulator in step (a) of Algorithms 3–4.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -20,8 +30,14 @@ pub struct Candidate {
 
 /// A dispatch rule choosing among the candidate drivers for a task.
 ///
-/// Implementors are deterministic given their own seeded RNG state, making
-/// whole simulations reproducible.
+/// Implementors are deterministic, making whole simulations reproducible.
+/// Policies whose choice is a pure function of the candidate set (and a
+/// seed) — [`MaxMargin`], [`NearestDriver`], [`WeightedScore`] — are
+/// additionally *shard-stable*: their decisions do not depend on the order
+/// in which unrelated decisions interleave, which is what lets the
+/// region-sharded streaming engine reproduce a sequential replay
+/// byte-for-byte. [`RandomDispatch`] consumes a shared RNG stream across
+/// decisions and is therefore **not** shard-stable.
 pub trait DispatchPolicy {
     /// Short label used in experiment output (e.g. `"Nearest"`).
     fn name(&self) -> &'static str;
@@ -33,9 +49,21 @@ pub trait DispatchPolicy {
 
 /// Algorithm 3 — *Nearest Driver*: dispatch the candidate "who will arrive
 /// fastest to `s̄ₘ`, if multiple, choose a random one".
-#[derive(Debug)]
+///
+/// The "random" tie-break is **decision-local**: the pick among tied
+/// candidates is a seeded hash of the candidate set itself (arrivals,
+/// marginal values, set size) rather than a draw from a shared RNG stream.
+/// Identical candidate sets therefore tie-break identically no matter how
+/// many unrelated decisions happened before — the property that makes the
+/// policy shard-stable (a region-sharded replay interleaves decisions
+/// differently than a sequential one, but every individual decision sees
+/// the same candidate set, so results stay byte-identical). The hash only
+/// uses relabeling-invariant data (never driver indices), so a shard's
+/// locally renumbered driver set picks the same candidate *position* as the
+/// global one.
+#[derive(Clone, Copy, Debug)]
 pub struct NearestDriver {
-    rng: StdRng,
+    seed: u64,
 }
 
 impl NearestDriver {
@@ -48,9 +76,7 @@ impl NearestDriver {
     /// Creates the policy with an explicit tie-break seed.
     #[must_use]
     pub fn with_seed(seed: u64) -> Self {
-        Self {
-            rng: StdRng::seed_from_u64(seed),
-        }
+        Self { seed }
     }
 }
 
@@ -73,7 +99,18 @@ impl DispatchPolicy for NearestDriver {
             .filter(|(_, c)| c.arrival == best)
             .map(|(i, _)| i)
             .collect();
-        Some(tied[self.rng.gen_range(0..tied.len())])
+        if tied.len() == 1 {
+            return Some(tied[0]);
+        }
+        // Decision-local pseudo-random pick: fold the candidate set's
+        // relabeling-invariant data through splitmix64.
+        let mut h = splitmix64(self.seed ^ 0xA076_1D64_78BD_642F);
+        h = splitmix64(h ^ best.as_secs() as u64);
+        h = splitmix64(h ^ candidates.len() as u64);
+        for &i in &tied {
+            h = splitmix64(h ^ candidates[i].marginal_value.to_bits());
+        }
+        Some(tied[(h % tied.len() as u64) as usize])
     }
 }
 
@@ -212,13 +249,24 @@ mod tests {
     }
 
     #[test]
-    fn nearest_breaks_ties_randomly_but_validly() {
+    fn nearest_breaks_ties_validly_and_decision_locally() {
         let mut p = NearestDriver::with_seed(7);
-        let c = vec![cand(0, 300, 0.0), cand(1, 300, 0.0), cand(2, 900, 0.0)];
+        let c = vec![cand(0, 300, 0.0), cand(1, 300, 1.0), cand(2, 900, 0.0)];
+        let pick = p.choose(&c).unwrap();
+        assert!(pick == 0 || pick == 1, "tie-break must pick a minimum");
+        // Decision-local: the pick depends only on the candidate set, not on
+        // how many decisions this policy instance made before (the property
+        // sharded replay relies on).
         for _ in 0..50 {
-            let pick = p.choose(&c).unwrap();
-            assert!(pick == 0 || pick == 1, "tie-break must pick a minimum");
+            let _ = p.choose(&[cand(9, 5, 1.0), cand(3, 5, 2.0)]);
         }
+        assert_eq!(p.choose(&c).unwrap(), pick);
+        // A fresh instance with the same seed agrees; other seeds may not.
+        assert_eq!(NearestDriver::with_seed(7).choose(&c).unwrap(), pick);
+        let spread: std::collections::HashSet<usize> = (0..64)
+            .map(|s| NearestDriver::with_seed(s).choose(&c).unwrap())
+            .collect();
+        assert!(spread.len() > 1, "seed never changes the tie-break");
     }
 
     #[test]

@@ -146,12 +146,29 @@ pub trait StreamSink {
 }
 
 /// Options for a streaming replay.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct StreamOptions {
     /// Maintain a spatial grid index over this service area for candidate
     /// pruning (lossless — identical results, different cost). `None`
     /// scans all live drivers linearly.
     pub grid_bbox: Option<BoundingBox>,
+    /// Garbage-collect expired drivers' resident state once at least this
+    /// many are flagged (checked at each flush). Without compaction,
+    /// resident state is `O(all drivers ever announced)` — fatal for
+    /// week-long streams with fleet churn; with it, provably-irrelevant
+    /// drivers are freed losslessly (batched mode keeps a frozen location
+    /// "ghost" per driver for `latest_decision` parity — the subtle case
+    /// `candidates.rs` documents). `usize::MAX` disables compaction.
+    pub compact_threshold: usize,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        Self {
+            grid_bbox: None,
+            compact_threshold: 64,
+        }
+    }
 }
 
 impl StreamOptions {
@@ -159,6 +176,20 @@ impl StreamOptions {
     #[must_use]
     pub fn grid(mut self, bbox: BoundingBox) -> Self {
         self.grid_bbox = Some(bbox);
+        self
+    }
+
+    /// Sets the expired-driver compaction threshold.
+    #[must_use]
+    pub fn compaction(mut self, threshold: usize) -> Self {
+        self.compact_threshold = threshold;
+        self
+    }
+
+    /// Disables expired-driver compaction (flag-skipping only, as in PR 4).
+    #[must_use]
+    pub fn no_compaction(mut self) -> Self {
+        self.compact_threshold = usize::MAX;
         self
     }
 }
@@ -192,6 +223,10 @@ pub struct StreamSummary {
     pub drivers: usize,
     /// Drivers retired by stream-clock expiry (their shift ended).
     pub expired_drivers: usize,
+    /// Of the expired drivers, how many were *compacted*: their resident
+    /// state (record, projected state, grid entry) was garbage-collected,
+    /// not just flag-skipped. See [`StreamOptions::compact_threshold`].
+    pub compacted_drivers: usize,
     /// High-water mark of simultaneously *held* (published, undecided)
     /// orders. Peak resident state is this plus `drivers` — the
     /// `O(active tasks + drivers)` bound, independent of trace length.
@@ -225,10 +260,24 @@ enum Hold {
 pub struct StreamEngine {
     speed: SpeedModel,
     engine: CandidateEngine,
+    /// Live (non-compacted) driver records, positionally aligned with
+    /// `states`. Slot indices are engine-internal: they compact when
+    /// expired drivers are garbage-collected, while the ids the sink sees
+    /// stay the announced ones (`ids` maps slot → announced id).
     drivers: Vec<Driver>,
     states: Vec<DriverState>,
-    /// Min-heap of `(shift_end, driver)` for lazy lossless retirement.
+    /// Announced id of each live slot (sink-facing identity).
+    ids: Vec<DriverId>,
+    /// Live slot of each announced driver; `None` once compacted.
+    slots: Vec<Option<usize>>,
+    /// Min-heap of `(shift_end, slot)` for lazy lossless retirement.
     expiry: BinaryHeap<Reverse<(i64, usize)>>,
+    /// Compact once this many expired flags accumulate (`usize::MAX` off).
+    compact_threshold: usize,
+    /// Cumulative drivers retired (flagged or compacted).
+    expired_total: usize,
+    /// Cumulative drivers garbage-collected.
+    compacted: usize,
     pending: Vec<Task>,
     hold: Hold,
     /// Latest instant through which decisions are final; new tasks must
@@ -253,7 +302,12 @@ impl StreamEngine {
             engine: CandidateEngine::streaming(speed, options.grid_bbox),
             drivers: Vec::new(),
             states: Vec::new(),
+            ids: Vec::new(),
+            slots: Vec::new(),
             expiry: BinaryHeap::new(),
+            compact_threshold: options.compact_threshold.max(1),
+            expired_total: 0,
+            compacted: 0,
             pending: Vec::new(),
             hold: Hold::Empty,
             decided_through: None,
@@ -274,6 +328,13 @@ impl StreamEngine {
     /// Drivers announced so far.
     #[must_use]
     pub fn driver_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Drivers currently resident (announced minus compacted) — the number
+    /// the bounded-memory claim is really about once fleets churn.
+    #[must_use]
+    pub fn resident_drivers(&self) -> usize {
         self.drivers.len()
     }
 
@@ -299,13 +360,16 @@ impl StreamEngine {
             StreamEvent::DriverOnline(driver) => {
                 assert_eq!(
                     driver.id.index(),
-                    self.drivers.len(),
+                    self.slots.len(),
                     "driver ids must be dense in announcement order"
                 );
                 sink.driver_online(&driver);
+                let slot = self.drivers.len();
                 self.engine.add_driver(&mut self.states, &driver);
                 self.expiry
-                    .push(Reverse((driver.shift_end.as_secs(), driver.id.index())));
+                    .push(Reverse((driver.shift_end.as_secs(), slot)));
+                self.slots.push(Some(slot));
+                self.ids.push(driver.id);
                 self.drivers.push(driver);
             }
             StreamEvent::TaskPublished(task) => {
@@ -354,15 +418,21 @@ impl StreamEngine {
                 self.peak_held = self.peak_held.max(self.pending.len());
             }
             StreamEvent::DriverOffline(id) => {
-                let d = id.index();
-                assert!(d < self.drivers.len(), "DriverOffline for unknown {id}");
+                assert!(
+                    id.index() < self.slots.len(),
+                    "DriverOffline for unknown {id}"
+                );
+                // Already compacted ⇒ already provably retired.
+                let Some(d) = self.slots[id.index()] else {
+                    return;
+                };
                 // Only retire when provably lossless: no held or future
                 // order can be decided early enough for her to get home
                 // (held orders publish no later than the clock, so the
                 // earliest held publish is the binding floor).
                 let floor = self.pending.first().map(|t| t.publish_time).or(self.clock);
-                if floor.is_some_and(|f| self.drivers[d].shift_end < f) {
-                    self.engine.expire(d);
+                if floor.is_some_and(|f| self.drivers[d].shift_end < f) && self.engine.expire(d) {
+                    self.expired_total += 1;
                 }
             }
             StreamEvent::EpochTick(t) => {
@@ -393,10 +463,110 @@ impl StreamEngine {
             tasks: self.tasks,
             served: self.served,
             rejected: self.rejected,
-            drivers: self.drivers.len(),
-            expired_drivers: self.engine.expired_count(),
+            drivers: self.slots.len(),
+            expired_drivers: self.expired_total,
+            compacted_drivers: self.compacted,
             peak_held_tasks: self.peak_held,
             clock: self.clock.unwrap_or(Timestamp::EPOCH),
+        }
+    }
+
+    /// Anchors a batched hold window opening at `at` — the region-sharded
+    /// engine's window-alignment hook. A sequential engine opens each
+    /// window at its own first pending order's publish time; a shard must
+    /// instead open at the *global* window start (another shard's order may
+    /// have opened it), or its hold would close later than the sequential
+    /// engine's and decision epochs would drift. No-op under instant
+    /// policies: publish groups are self-aligning (every member shares one
+    /// timestamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is already open (close it with
+    /// [`StreamEvent::EpochTick`] first), if the clock has passed `at`, or
+    /// if the batch window is negative.
+    pub fn open_window(&mut self, at: Timestamp, policy: &StreamPolicy<'_>) {
+        if let StreamPolicy::Batched { window, .. } = policy {
+            assert!(
+                window.is_non_negative(),
+                "batch window must be non-negative"
+            );
+            assert_eq!(
+                self.hold,
+                Hold::Empty,
+                "window anchored while another is open"
+            );
+            if let Some(clock) = self.clock {
+                assert!(
+                    at >= clock,
+                    "window anchored at {at} behind the clock {clock}"
+                );
+            }
+            self.clock = Some(at);
+            self.hold = Hold::Window(at + *window);
+        }
+    }
+
+    /// Orders currently held (published, undecided), for the sharding
+    /// validator's re-checks at window boundaries.
+    pub(crate) fn pending_tasks(&self) -> &[Task] {
+        &self.pending
+    }
+
+    /// A resident driver who could still *interact* with `task`: reach its
+    /// pickup within the publish→deadline lead (the loosest feasibility
+    /// radius — she departs no earlier than publication), which is also
+    /// exactly the radius inside which she could raise the task's
+    /// early-flush epoch above its `publish_time` floor. `None` proves the
+    /// task is independent of every driver this engine owns — the
+    /// region-sharding proof obligation (`shard.rs`), the streaming mirror
+    /// of `disjoint_components`. Scans every resident driver, expired
+    /// included (expired drivers still count for `latest_decision`);
+    /// compacted ghosts report the sentinel `DriverId(u32::MAX)`.
+    pub(crate) fn interaction_with(&self, task: &Task) -> Option<DriverId> {
+        let budget = task.pickup_deadline - task.publish_time + TimeDelta::from_secs(1);
+        for (slot, st) in self.states.iter().enumerate() {
+            if self.speed.travel_time(st.location, task.origin) <= budget {
+                return Some(self.ids[slot]);
+            }
+        }
+        for &loc in self.engine.ghost_locations() {
+            if self.speed.travel_time(loc, task.origin) <= budget {
+                return Some(DriverId::new(u32::MAX));
+            }
+        }
+        None
+    }
+
+    /// Garbage-collects every expired driver's resident state. `keep_ghosts`
+    /// (batched mode) leaves a frozen location per removed driver so
+    /// `latest_decision` epochs stay byte-identical to a materialized
+    /// replay; instant mode drops them entirely.
+    fn compact(&mut self, keep_ghosts: bool) {
+        let remap = self.engine.compact(&mut self.states, keep_ghosts);
+        let removed = remap.iter().filter(|r| r.is_none()).count();
+        if removed == 0 {
+            return;
+        }
+        self.compacted += removed;
+        let mut drivers = Vec::with_capacity(self.drivers.len() - removed);
+        let mut ids = Vec::with_capacity(self.ids.len() - removed);
+        for (old, r) in remap.iter().enumerate() {
+            if r.is_some() {
+                drivers.push(self.drivers[old]);
+                ids.push(self.ids[old]);
+            }
+        }
+        self.drivers = drivers;
+        self.ids = ids;
+        for slot in &mut self.slots {
+            *slot = slot.and_then(|s| remap[s]);
+        }
+        let entries: Vec<Reverse<(i64, usize)>> = std::mem::take(&mut self.expiry).into_vec();
+        for Reverse((end, old)) in entries {
+            if let Some(new) = remap[old] {
+                self.expiry.push(Reverse((end, new)));
+            }
         }
     }
 
@@ -412,7 +582,9 @@ impl StreamEngine {
         let window_start = self.pending[0].publish_time;
         while let Some(&Reverse((end, d))) = self.expiry.peek() {
             if Timestamp::from_secs(end) < window_start {
-                self.engine.expire(d);
+                if self.engine.expire(d) {
+                    self.expired_total += 1;
+                }
                 self.expiry.pop();
             } else {
                 break;
@@ -420,7 +592,7 @@ impl StreamEngine {
         }
 
         let pending = std::mem::take(&mut self.pending);
-        match (hold, policy) {
+        match (hold, &mut *policy) {
             (Hold::Instant(at), StreamPolicy::Instant(choose)) => {
                 // Same-timestamp orders decide in task-id order, making
                 // intra-timestamp delivery order irrelevant.
@@ -436,7 +608,10 @@ impl StreamEngine {
                         task.publish_time,
                         &mut **choose,
                     ) {
-                        Some(event) => {
+                        Some(mut event) => {
+                            // Events name drivers by their *announced* id;
+                            // internal slots may have compacted since.
+                            event.driver = self.ids[event.driver.index()];
                             sink.dispatched(task, &event);
                             self.served += 1;
                         }
@@ -451,6 +626,7 @@ impl StreamEngine {
             (Hold::Window(end), StreamPolicy::Batched { matcher, .. }) => {
                 let mut served = 0usize;
                 let mut rejected = 0usize;
+                let ids = &self.ids;
                 process_window(
                     &mut self.engine,
                     &self.drivers,
@@ -460,7 +636,8 @@ impl StreamEngine {
                     end,
                     &mut **matcher,
                     &mut |task, at, decision| match decision {
-                        Some(event) => {
+                        Some(mut event) => {
+                            event.driver = ids[event.driver.index()];
                             sink.dispatched(task, &event);
                             served += 1;
                         }
@@ -475,6 +652,12 @@ impl StreamEngine {
                 self.decided_through = Some(end);
             }
             (held, _) => panic!("policy kind changed mid-stream while holding {held:?}"),
+        }
+        // Flagged-but-resident drivers, without the O(residents) flag scan
+        // (`expire` counts transitions, `compact` counts removals) — flush
+        // runs once per publish group, so this is hot-path arithmetic.
+        if self.expired_total - self.compacted >= self.compact_threshold {
+            self.compact(matches!(policy, StreamPolicy::Batched { .. }));
         }
     }
 }
@@ -791,6 +974,88 @@ mod tests {
             Simulator::new(&m).run(&mut MaxMargin::new(), SimulationOptions::default());
         assert_same(&sink.into_result(), &materialized);
         assert!(summary.expired_drivers > 0, "no shift ended mid-stream");
+    }
+
+    #[test]
+    fn aggressive_compaction_changes_nothing_instant() {
+        // Compact after every single expiry: resident drivers shrink, the
+        // replay stays byte-identical to the materialized simulator, and
+        // events still name drivers by their announced ids.
+        let m = market(89, 200, 30);
+        for use_grid in [false, true] {
+            let mut options = StreamOptions::default().compaction(1);
+            if use_grid {
+                options = options.grid(rideshare_geo::porto::bounding_box());
+            }
+            let mut sink = CollectingSink::new();
+            let summary = replay_stream(
+                m.speed(),
+                market_events(&m),
+                &mut StreamPolicy::Instant(&mut MaxMargin::new()),
+                options,
+                &mut sink,
+            );
+            let materialized =
+                Simulator::new(&m).run(&mut MaxMargin::new(), SimulationOptions::default());
+            assert_same(&sink.into_result(), &materialized);
+            assert!(
+                summary.compacted_drivers > 0,
+                "no shift ended mid-stream (grid={use_grid})"
+            );
+            assert!(summary.compacted_drivers <= summary.expired_drivers);
+        }
+    }
+
+    #[test]
+    fn aggressive_compaction_changes_nothing_batched() {
+        // Batched mode: ghosts must keep every early-flush epoch (computed
+        // by `latest_decision` over *all* drivers, expired included) equal
+        // to the materialized batch engine's — the parity the candidate
+        // engine's ghost test isolates, exercised here end-to-end.
+        let m = market(90, 200, 30);
+        for mins in [2i64, 10] {
+            let window = TimeDelta::from_mins(mins);
+            let mut sink = CollectingSink::new();
+            let mut matcher = GreedyPairMatcher;
+            let summary = replay_stream(
+                m.speed(),
+                market_events(&m),
+                &mut StreamPolicy::Batched {
+                    window,
+                    matcher: &mut matcher,
+                },
+                StreamOptions::default().compaction(1),
+                &mut sink,
+            );
+            let materialized = crate::batch::run_batched(&m, window);
+            assert_same(&sink.into_result(), &materialized);
+            assert!(summary.compacted_drivers > 0, "no compaction at W={mins}m");
+        }
+    }
+
+    #[test]
+    fn compaction_shrinks_resident_state() {
+        let m = market(95, 150, 25);
+        let mut engine = StreamEngine::new(m.speed(), StreamOptions::default().compaction(1));
+        let mut mm = MaxMargin::new();
+        let mut policy = StreamPolicy::Instant(&mut mm);
+        let mut sink = CollectingSink::new();
+        for e in market_events(&m) {
+            engine.push(e, &mut policy, &mut sink);
+        }
+        assert_eq!(engine.driver_count(), 25);
+        assert!(
+            engine.resident_drivers() < 25,
+            "resident {} of 25 — nothing was freed",
+            engine.resident_drivers()
+        );
+        let summary = engine.finish(&mut policy, &mut sink);
+        assert_eq!(
+            summary.drivers, 25,
+            "announced count is never compacted away"
+        );
+        assert!(summary.compacted_drivers > 0);
+        assert!(summary.expired_drivers >= summary.compacted_drivers);
     }
 
     #[test]

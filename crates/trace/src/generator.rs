@@ -53,6 +53,9 @@ pub struct TraceConfig {
     pub(crate) shift_hours: (f64, f64),
     /// Hitchhiking: shift length as a multiple of the direct commute time.
     pub(crate) hitchhike_slack: (f64, f64),
+    /// Number of disjoint service regions (1 = the classic single-city
+    /// trace). See [`TraceConfig::with_regions`].
+    pub(crate) region_count: usize,
 }
 
 impl TraceConfig {
@@ -78,6 +81,7 @@ impl TraceConfig {
             window_slack_factor: 0.25,
             shift_hours: (3.0, 8.0),
             hitchhike_slack: (2.0, 6.0),
+            region_count: 1,
         }
     }
 
@@ -183,16 +187,104 @@ impl TraceConfig {
         self
     }
 
+    /// Splits the market into `count` **disjoint service regions**:
+    /// identical translated copies of the base service area, laid out
+    /// west→east with a dead-space gap wide enough that *no driver in one
+    /// region can ever interact with a task in another* — she cannot reach
+    /// a foreign pickup within any order's publish→deadline lead, which is
+    /// simultaneously the feasibility radius and the early-flush-epoch
+    /// influence radius of the online engines. The gap is derived from the
+    /// configured maximum lead time and speed model, so every trace built
+    /// this way is a *legal region partition* by construction — the online
+    /// analogue of the offline `disjoint_components` decomposition, and
+    /// the workload the region-sharded streaming engine parallelises
+    /// losslessly.
+    ///
+    /// Each trip and driver is assigned a uniformly random region
+    /// (deterministic in the seed) and generated wholly inside it — region
+    /// membership is recoverable from any of its points via
+    /// [`TraceConfig::region_boxes`] (the "region tags" consumed by
+    /// `rideshare-online`'s `BoxPartitioner`). `count = 1` is the classic
+    /// single-city trace, bit-identical to not calling this at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn with_regions(mut self, count: usize) -> Self {
+        assert!(count > 0, "need at least one region");
+        self.region_count = count;
+        self
+    }
+
+    /// Number of disjoint service regions (1 unless
+    /// [`TraceConfig::with_regions`] was used).
+    #[must_use]
+    pub fn region_count(&self) -> usize {
+        self.region_count
+    }
+
+    /// The bounding box of each service region, in region order. With one
+    /// region this is just the base service area.
+    #[must_use]
+    pub fn region_boxes(&self) -> Vec<BoundingBox> {
+        let step = self.region_lon_step_deg();
+        (0..self.region_count)
+            .map(|r| {
+                let shift = r as f64 * step;
+                BoundingBox::new(
+                    self.bbox.min_lat(),
+                    self.bbox.max_lat(),
+                    self.bbox.min_lon() + shift,
+                    self.bbox.max_lon() + shift,
+                )
+            })
+            .collect()
+    }
+
+    /// Longitude offset between consecutive regions: the base box width
+    /// plus a gap exceeding the farthest any driver could travel within
+    /// the maximum publish→deadline lead (straight-line, with the same
+    /// 1-second rounding slack the candidate engines use, plus a 1 km
+    /// safety margin). All points of one region shift by the *same*
+    /// degrees, so within-region geometry — distances, durations, prices —
+    /// is untouched.
+    fn region_lon_step_deg(&self) -> f64 {
+        let c = self.bbox.center();
+        let km_per_deg_lon = GeoPoint::new(c.lat(), c.lon())
+            .equirectangular_km(GeoPoint::new(c.lat(), c.lon() + 1.0));
+        let max_lead = TimeDelta::from_mins(self.lead_time_mins.1) + TimeDelta::from_secs(2);
+        let gap_km = self.speed.reachable_km(max_lead) + 1.0;
+        (self.bbox.max_lon() - self.bbox.min_lon()) + gap_km / km_per_deg_lon
+    }
+
+    /// Translates `p` from the base service area into region `r`.
+    fn translate_to_region(&self, p: GeoPoint, r: usize) -> GeoPoint {
+        if r == 0 {
+            return p;
+        }
+        GeoPoint::new(p.lat(), p.lon() + r as f64 * self.region_lon_step_deg())
+    }
+
     /// The speed model trips were generated with.
     #[must_use]
     pub fn speed_model(&self) -> SpeedModel {
         self.speed
     }
 
-    /// The service-area bounding box.
+    /// The service-area bounding box (all regions included).
     #[must_use]
     pub fn bounding_box(&self) -> BoundingBox {
-        self.bbox
+        if self.region_count <= 1 {
+            return self.bbox;
+        }
+        let shift = (self.region_count - 1) as f64 * self.region_lon_step_deg();
+        BoundingBox::new(
+            self.bbox.min_lat(),
+            self.bbox.max_lat(),
+            self.bbox.min_lon(),
+            self.bbox.max_lon() + shift,
+        )
     }
 
     /// The configured RNG seed.
@@ -226,7 +318,7 @@ impl TraceConfig {
             trips,
             drivers,
             speed: self.speed,
-            bbox: self.bbox,
+            bbox: self.bounding_box(),
         }
     }
 
@@ -292,6 +384,13 @@ impl TraceConfig {
         id: TaskId,
         hour: usize,
     ) -> TripRecord {
+        // Region draw first, so single-region traces consume the RNG
+        // exactly as before `with_regions` existed (seed stability).
+        let region = if self.region_count > 1 {
+            rng.gen_range(0..self.region_count)
+        } else {
+            0
+        };
         let within = rng.gen_range(0..3600);
         let pickup_deadline = Timestamp::from_hours(hour as i64) + TimeDelta::from_secs(within);
 
@@ -318,8 +417,11 @@ impl TraceConfig {
         let trip = TripRecord {
             id,
             publish_time,
-            origin,
-            destination,
+            // The translation shifts every point of the region by the same
+            // longitude delta, so it preserves within-region distances and
+            // everything derived from them above.
+            origin: self.translate_to_region(origin, region),
+            destination: self.translate_to_region(destination, region),
             pickup_deadline,
             completion_deadline,
             distance_km: driven_km,
@@ -330,6 +432,20 @@ impl TraceConfig {
     }
 
     pub(crate) fn gen_driver<R: Rng + ?Sized>(&self, rng: &mut R, id: DriverId) -> DriverShift {
+        let region = if self.region_count > 1 {
+            rng.gen_range(0..self.region_count)
+        } else {
+            0
+        };
+        let shift = self.gen_driver_in_base(rng, id);
+        DriverShift {
+            source: self.translate_to_region(shift.source, region),
+            destination: self.translate_to_region(shift.destination, region),
+            ..shift
+        }
+    }
+
+    fn gen_driver_in_base<R: Rng + ?Sized>(&self, rng: &mut R, id: DriverId) -> DriverShift {
         match self.driver_model {
             DriverModel::HomeWorkHome => {
                 let home = self.bbox.lerp(rng.gen(), rng.gen());
@@ -577,6 +693,127 @@ mod tests {
             near_depot as f64 > 0.8 * t.trips.len() as f64,
             "only {near_depot}/500 pickups near a depot"
         );
+    }
+
+    #[test]
+    fn regions_are_disjoint_beyond_interaction_range() {
+        let cfg = TraceConfig::porto()
+            .with_seed(21)
+            .with_task_count(400)
+            .with_driver_count(40, DriverModel::Hitchhiking)
+            .with_regions(3);
+        let t = cfg.generate();
+        let boxes = cfg.region_boxes();
+        assert_eq!(boxes.len(), 3);
+        let region_of = |p: GeoPoint| boxes.iter().position(|b| b.contains(p));
+
+        let mut seen = [false; 3];
+        for trip in &t.trips {
+            let r = region_of(trip.origin).expect("origin outside every region");
+            assert_eq!(region_of(trip.destination), Some(r), "trip crosses regions");
+            seen[r] = true;
+        }
+        for d in &t.drivers {
+            let r = region_of(d.source).expect("driver outside every region");
+            assert_eq!(region_of(d.destination), Some(r), "driver crosses regions");
+        }
+        assert!(seen.iter().all(|&s| s), "a region got no demand");
+
+        // Legality: no driver can reach a foreign task's pickup within its
+        // publish→deadline lead — the sharding proof obligation.
+        for d in &t.drivers {
+            let dr = region_of(d.source).unwrap();
+            for trip in &t.trips {
+                if region_of(trip.origin) == Some(dr) {
+                    continue;
+                }
+                let lead = trip.pickup_deadline - trip.publish_time;
+                assert!(
+                    t.speed.travel_time(d.source, trip.origin)
+                        > lead + rideshare_types::TimeDelta::from_secs(1),
+                    "driver {} can interact with foreign trip {}",
+                    d.id,
+                    trip.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_translation_preserves_trip_statistics() {
+        // Multi-region trips have the same distance/duration marginals as
+        // the base city: translation is geometry-preserving.
+        let base = TraceConfig::porto().with_seed(22).with_task_count(1500);
+        let split = base.clone().with_regions(4);
+        let median = |mut v: Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let base_med = median(
+            base.generate()
+                .trips
+                .iter()
+                .map(|t| t.distance_km)
+                .collect(),
+        );
+        let split_med = median(
+            split
+                .generate()
+                .trips
+                .iter()
+                .map(|t| t.distance_km)
+                .collect(),
+        );
+        assert!(
+            (base_med - split_med).abs() / base_med < 0.25,
+            "base {base_med} vs regional {split_med}"
+        );
+        for trip in split.generate().trips.iter().take(200) {
+            trip.validate().unwrap();
+            assert!(split.bounding_box().contains(trip.origin));
+            assert!(split.bounding_box().contains(trip.destination));
+        }
+    }
+
+    #[test]
+    fn single_region_is_seed_stable() {
+        // `with_regions(1)` must not consume RNG differently from the
+        // pre-region generator: existing seeds keep their traces.
+        let a = TraceConfig::porto()
+            .with_seed(23)
+            .with_task_count(60)
+            .generate();
+        let b = TraceConfig::porto()
+            .with_seed(23)
+            .with_task_count(60)
+            .with_regions(1)
+            .generate();
+        assert_eq!(a.trips, b.trips);
+        assert_eq!(a.drivers, b.drivers);
+    }
+
+    #[test]
+    fn regional_stream_matches_regional_generate_contract() {
+        // The lazy stream honours regions too: publish-sorted, dense ids,
+        // all points inside some region box.
+        let cfg = TraceConfig::porto()
+            .with_seed(24)
+            .with_task_count(300)
+            .with_driver_count(20, DriverModel::Hitchhiking)
+            .with_regions(2);
+        let stream = cfg.stream();
+        let boxes = stream.region_boxes();
+        assert_eq!(boxes.len(), 2);
+        let mut last = Timestamp::from_secs(i64::MIN);
+        for (i, trip) in stream.enumerate() {
+            assert_eq!(trip.id.index(), i);
+            assert!(trip.publish_time >= last);
+            last = trip.publish_time;
+            assert!(
+                boxes.iter().any(|b| b.contains(trip.origin)),
+                "origin in no region"
+            );
+        }
     }
 
     #[test]

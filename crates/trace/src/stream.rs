@@ -166,10 +166,18 @@ impl TraceStream {
         self.config.speed
     }
 
-    /// The service-area bounding box.
+    /// The service-area bounding box (all regions included).
     #[must_use]
     pub fn bounding_box(&self) -> BoundingBox {
-        self.config.bbox
+        self.config.bounding_box()
+    }
+
+    /// The bounding box of each disjoint service region (see
+    /// [`TraceConfig::with_regions`]) — the region tags a sharded consumer
+    /// feeds to its partitioner.
+    #[must_use]
+    pub fn region_boxes(&self) -> Vec<BoundingBox> {
+        self.config.region_boxes()
     }
 
     /// Total trips this stream will yield.
@@ -192,7 +200,7 @@ impl TraceStream {
     pub fn collect_trace(mut self) -> Trace {
         let drivers = std::mem::take(&mut self.drivers);
         let speed = self.config.speed;
-        let bbox = self.config.bbox;
+        let bbox = self.config.bounding_box();
         Trace {
             trips: self.by_ref().collect(),
             drivers,

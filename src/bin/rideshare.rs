@@ -83,6 +83,7 @@ USAGE:
                      [--policy margin|nearest|batch-<W>|batch-opt-<W>]
                      [--model hitch|hwh] [--delivery]
                      [--surge-window MINS] [--no-grid] [--quiet-table]
+                     [--shards N] [--regions K] [--canonical]
                      (bounded-memory streaming replay; N can be millions)
 
 DIR holds trips.csv and drivers.csv as written by `generate`.
@@ -96,7 +97,11 @@ CI snapshot form).
 `replay` never materialises the trace: trips generate lazily in publish
 order, prices come from the rolling-window surge pricer (default 30 min;
 0 disables surge), and resident state stays O(held orders + drivers) —
-the logged high-water mark shows it.";
+the logged high-water mark shows it. `--shards N` runs the region-sharded
+parallel engine over an N-region trace (or `--regions K ≥ N` regions
+folded round-robin): decisions and metrics are byte-identical to
+`--shards 1` on the same `--regions`, only faster. `--canonical` omits
+wall-clock lines so reports diff clean across shard counts.";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -299,14 +304,29 @@ fn replay(args: &[String]) -> Result<(), String> {
     use rideshare::bench::PolicySpec;
     use rideshare::metrics::StreamMetrics;
     use rideshare::online::{
-        BatchMatcher, DispatchPolicy, GreedyPairMatcher, MatcherKind, OptimalAssignmentMatcher,
-        StreamEngine, StreamEvent, StreamOptions, StreamPolicy,
+        replay_sharded, BoxPartitioner, ShardOptions, ShardPolicySpec, StreamEngine, StreamEvent,
+        StreamOptions,
     };
 
     let tasks: usize = parse_flag(args, "--tasks", 100_000)?;
     let drivers: usize = parse_flag(args, "--drivers", 450)?;
     let seed: u64 = parse_flag(args, "--seed", 0)?;
     let surge_mins: i64 = parse_flag(args, "--surge-window", 30)?;
+    let shards: usize = parse_flag(args, "--shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    // Sharding is lossless only over disjoint service regions (see
+    // ARCHITECTURE.md); `--shards N` therefore defaults to an N-region
+    // trace, and `--regions K` decouples the two (K ≥ N regions fold onto
+    // N shards round-robin).
+    let regions: usize = parse_flag(args, "--regions", shards.max(1))?;
+    if regions < shards {
+        return Err(format!(
+            "--regions {regions} < --shards {shards}: a shard would own no region"
+        ));
+    }
+    let canonical = args.iter().any(|a| a == "--canonical");
     let model = match flag_value(args, "--model") {
         Some("hwh") => DriverModel::HomeWorkHome,
         _ => DriverModel::Hitchhiking,
@@ -316,28 +336,24 @@ fn replay(args: &[String]) -> Result<(), String> {
     } else {
         TraceConfig::porto()
     };
-    let config = base
+    let mut config = base
         .with_seed(seed)
         .with_task_count(tasks)
         .with_driver_count(drivers, model);
-
-    // The streaming policy: the per-task heuristics or a batched window,
-    // parsed through the same PolicySpec grammar as `simulate` and `sweep`.
-    enum Holder {
-        Instant(Box<dyn DispatchPolicy>),
-        Batched(TimeDelta, Box<dyn BatchMatcher>),
+    if regions > 1 {
+        config = config.with_regions(regions);
     }
-    let holder = match flag_value(args, "--policy") {
-        Some("nearest") => Holder::Instant(Box::new(NearestDriver::new())),
-        Some("margin") | None => Holder::Instant(Box::new(MaxMargin::new())),
+
+    // The streaming policy, parsed through the same PolicySpec grammar as
+    // `simulate` and `sweep` — one shard-stable spec for both paths.
+    let spec = match flag_value(args, "--policy") {
+        Some("nearest") => ShardPolicySpec::Nearest { seed: 0 },
+        Some("margin") | None => ShardPolicySpec::MaxMargin,
         Some(label) => match PolicySpec::parse(label).and_then(|p| p.batch_options()) {
-            Some(opts) => Holder::Batched(
-                opts.window,
-                match opts.matcher {
-                    MatcherKind::Greedy => Box::new(GreedyPairMatcher),
-                    MatcherKind::Optimal => Box::new(OptimalAssignmentMatcher),
-                },
-            ),
+            Some(opts) => ShardPolicySpec::Batched {
+                window: opts.window,
+                matcher: opts.matcher,
+            },
             None => {
                 return Err(format!(
                     "unknown policy '{label}' (margin|nearest|batch-<W>|batch-opt-<W>)"
@@ -345,18 +361,10 @@ fn replay(args: &[String]) -> Result<(), String> {
             }
         },
     };
-    let mut holder = holder;
-    let mut policy = match &mut holder {
-        Holder::Instant(p) => StreamPolicy::Instant(p.as_mut()),
-        Holder::Batched(w, m) => StreamPolicy::Batched {
-            window: *w,
-            matcher: m.as_mut(),
-        },
-    };
 
     // The full streaming pipeline: lazy trip generation → incremental
-    // pricing → bounded-memory dispatch → windowed metrics. Nothing here
-    // is O(trace).
+    // pricing → bounded-memory dispatch (sequential or region-sharded) →
+    // windowed metrics. Nothing here is O(trace).
     let stream = config.stream();
     let speed = stream.speed();
     let bbox = stream.bounding_box();
@@ -372,20 +380,40 @@ fn replay(args: &[String]) -> Result<(), String> {
         StreamOptions::default().grid(bbox)
     };
     let mut metrics = StreamMetrics::hourly();
-    let mut engine = StreamEngine::new(speed, options);
     let start = std::time::Instant::now();
-    for shift in stream.drivers() {
-        engine.push(
-            StreamEvent::DriverOnline(Driver::from(shift)),
-            &mut policy,
+    let summary = if shards > 1 {
+        let partitioner = BoxPartitioner::new(config.region_boxes());
+        let driver_events: Vec<StreamEvent> = stream
+            .drivers()
+            .iter()
+            .map(|shift| StreamEvent::DriverOnline(Driver::from(shift)))
+            .collect();
+        let task_events = stream.map(move |trip| StreamEvent::TaskPublished(pricer.price(&trip)));
+        replay_sharded(
+            speed,
+            driver_events.into_iter().chain(task_events),
+            spec,
+            &partitioner,
+            ShardOptions::new(shards).stream(options).validate(false),
             &mut metrics,
-        );
-    }
-    for trip in stream {
-        let task = pricer.price(&trip);
-        engine.push(StreamEvent::TaskPublished(task), &mut policy, &mut metrics);
-    }
-    let summary = engine.finish(&mut policy, &mut metrics);
+        )
+    } else {
+        let mut holder = spec.holder();
+        let mut policy = holder.as_policy();
+        let mut engine = StreamEngine::new(speed, options);
+        for shift in stream.drivers() {
+            engine.push(
+                StreamEvent::DriverOnline(Driver::from(shift)),
+                &mut policy,
+                &mut metrics,
+            );
+        }
+        for trip in stream {
+            let task = pricer.price(&trip);
+            engine.push(StreamEvent::TaskPublished(task), &mut policy, &mut metrics);
+        }
+        engine.finish(&mut policy, &mut metrics)
+    };
     let elapsed = start.elapsed().as_secs_f64();
 
     if !args.iter().any(|a| a == "--quiet-table") {
@@ -411,13 +439,16 @@ fn replay(args: &[String]) -> Result<(), String> {
         );
     }
     println!(
-        "        {:.0} tasks/s over {elapsed:.2}s; peak resident state: {} held orders + {} \
-         drivers = {} (O(active + drivers), trace never materialised)",
-        summary.tasks as f64 / elapsed.max(1e-9),
-        summary.peak_held_tasks,
-        summary.drivers,
-        summary.peak_resident(),
+        "        {} region(s) × {} shard(s); peak resident state: {} held orders + {} \
+         drivers ({} compacted) (O(active + drivers), trace never materialised)",
+        regions, shards, summary.peak_held_tasks, summary.drivers, summary.compacted_drivers,
     );
+    if !canonical {
+        println!(
+            "        {:.0} tasks/s over {elapsed:.2}s",
+            summary.tasks as f64 / elapsed.max(1e-9),
+        );
+    }
     Ok(())
 }
 

@@ -71,11 +71,12 @@ pub mod prelude {
         render_series, render_table, MarketMetrics, Series, StreamMetrics,
     };
     pub use rideshare_online::{
-        market_events, replay_stream, run_batched, run_batched_with, validate_online,
-        validate_online_result, BatchEngine, BatchMatcher, BatchOptions, CollectingSink,
-        DispatchPolicy, MatcherKind, MaxMargin, NearestDriver, RandomDispatch, SimulationOptions,
-        Simulator, StreamEngine, StreamEvent, StreamOptions, StreamPolicy, StreamSink,
-        StreamSummary,
+        market_events, replay_sharded, replay_stream, run_batched, run_batched_with,
+        validate_online, validate_online_result, BatchEngine, BatchMatcher, BatchOptions,
+        BoxPartitioner, CollectingSink, DispatchPolicy, GridHashPartitioner, MatcherKind,
+        MaxMargin, NearestDriver, RandomDispatch, RegionPartitioner, ShardOptions, ShardPolicySpec,
+        ShardedStreamEngine, SimulationOptions, Simulator, StreamEngine, StreamEvent,
+        StreamOptions, StreamPolicy, StreamSink, StreamSummary,
     };
     pub use rideshare_pricing::{FareModel, SurgeConfig, SurgeEngine, WtpModel};
     pub use rideshare_trace::{

@@ -165,3 +165,46 @@ fn replay_streams_in_bounded_memory() {
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown policy"));
 }
+
+#[test]
+fn replay_shard_counts_print_identical_canonical_reports() {
+    // The acceptance criterion at CLI level, small scale: the same
+    // regional stream at 1, 2 and 4 shards prints the same decisions and
+    // metrics byte-for-byte under --canonical (the "shard(s)" diagnostics
+    // line legitimately varies — per-shard peaks and compaction timing).
+    let canonical = |shards: &str| {
+        let out = cli(&[
+            "replay",
+            "--tasks",
+            "3000",
+            "--drivers",
+            "60",
+            "--seed",
+            "9",
+            "--regions",
+            "4",
+            "--shards",
+            shards,
+            "--canonical",
+        ]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        assert!(stdout.contains(&format!("{shards} shard(s)")), "{stdout}");
+        stdout
+            .lines()
+            .filter(|l| !l.contains("shard(s)"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let one = canonical("1");
+    assert_eq!(one, canonical("2"), "2 shards diverged from 1");
+    assert_eq!(one, canonical("4"), "4 shards diverged from 1");
+
+    let bad = cli(&["replay", "--shards", "4", "--regions", "2"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--regions"));
+}
