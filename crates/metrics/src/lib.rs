@@ -33,12 +33,14 @@
 
 // Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
+mod journal;
 mod market_metrics;
 mod stream_stats;
 mod table;
 mod timeseries;
 
+pub use journal::MetricsJournal;
 pub use market_metrics::MarketMetrics;
-pub use stream_stats::{StreamBucket, StreamMetrics};
+pub use stream_stats::{SnapshotError, StreamBucket, StreamMetrics, SNAPSHOT_SCHEMA};
 pub use table::{render_bars, render_pivot, render_series, render_table, Series};
 pub use timeseries::{HourBucket, HourlyBreakdown};

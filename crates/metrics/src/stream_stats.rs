@@ -62,11 +62,34 @@
 //! println!("{}", metrics.render());
 //! ```
 
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
 use rideshare_core::{Driver, Task};
 use rideshare_online::{DispatchEvent, StreamSink};
+use rideshare_trace::wire::{parse_json, JsonValue};
 use rideshare_types::{TimeDelta, Timestamp};
 
 use crate::table::render_table;
+
+/// Schema tag of the canonical snapshot JSON —
+/// [`StreamMetrics::to_canonical_json`] always writes it first, and
+/// [`StreamMetrics::from_canonical_json`] refuses anything else. Bump on
+/// any layout change.
+pub const SNAPSHOT_SCHEMA: &str = "rideshare-stream-metrics/1";
+
+/// A snapshot string could not be decoded back into [`StreamMetrics`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotError(String);
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad metrics snapshot: {}", self.0)
+    }
+}
+
+impl Error for SnapshotError {}
 
 /// An order-independent sum of `f64` values: each addend is quantised once
 /// to a 2⁻⁴⁰ grid and accumulated in `i128`, so `a + (b + c)` and
@@ -356,6 +379,217 @@ impl StreamMetrics {
             &rows,
         )
     }
+
+    /// Pre-registers driver slots `0..count` (idempotent, never shrinks) —
+    /// what [`StreamSink::driver_online`] does, without needing the
+    /// [`Driver`] values. Day-rollover machinery uses this to start a
+    /// fresh accumulator that indexes the same fleet.
+    pub fn register_drivers(&mut self, count: usize) {
+        if self.income.len() < count {
+            self.income.resize(count, FixedSum::default());
+            self.tasks_per_driver.resize(count, 0);
+        }
+    }
+
+    /// Serialises the accumulator as one line of **canonical JSON**: fixed
+    /// key order, no whitespace, fixed-point accumulators as exact decimal
+    /// strings (raw `i128` units of 2⁻⁴⁰ — never a lossy float), sparse
+    /// bucket/driver tables plus explicit counts so the round trip through
+    /// [`Self::from_canonical_json`] restores a value that compares `==`.
+    /// Equal metrics produce byte-identical snapshots, which is what lets
+    /// the serve-equivalence battery diff daemon snapshots across shard
+    /// counts and ingestion backends.
+    #[must_use]
+    pub fn to_canonical_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let _ = write!(
+            s,
+            "{{\"schema\":\"{SNAPSHOT_SCHEMA}\",\"bucket_secs\":{},\"published\":{},\"served\":{},\"rejected\":{},\"revenue\":\"{}\",\"profit\":\"{}\",\"wait_secs\":{},\"deadhead\":\"{}\",\"bucket_count\":{},\"buckets\":[",
+            self.bucket_len.as_secs(),
+            self.totals.published,
+            self.totals.served,
+            self.rejected,
+            self.totals.revenue.0,
+            self.totals.profit.0,
+            self.wait_secs_sum,
+            self.deadhead_km.0,
+            self.buckets.len(),
+        );
+        let mut first = true;
+        for (k, b) in self.buckets.iter().enumerate() {
+            if *b == StreamBucket::default() {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "[{k},{},{},\"{}\",\"{}\"]",
+                b.published, b.served, b.revenue.0, b.profit.0
+            );
+        }
+        let _ = write!(s, "],\"driver_count\":{},\"drivers\":[", self.income.len());
+        let mut first = true;
+        for (d, (income, tasks)) in self.income.iter().zip(&self.tasks_per_driver).enumerate() {
+            if income.0 == 0 && *tasks == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(s, "[{d},\"{}\",{tasks}]", income.0);
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Decodes a [`Self::to_canonical_json`] snapshot. Exact inverse: the
+    /// result compares `==` to the serialised accumulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on malformed JSON, a schema tag other
+    /// than [`SNAPSHOT_SCHEMA`], or out-of-range/inconsistent fields —
+    /// never panics on hostile input.
+    pub fn from_canonical_json(s: &str) -> Result<Self, SnapshotError> {
+        let v = parse_json(s).map_err(SnapshotError)?;
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| SnapshotError("missing schema tag".into()))?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(SnapshotError(format!(
+                "schema {schema:?}, expected {SNAPSHOT_SCHEMA:?}"
+            )));
+        }
+        let bucket_secs = json_i64(&v, "bucket_secs")?;
+        if bucket_secs <= 0 {
+            return Err(SnapshotError(format!(
+                "bucket_secs {bucket_secs} must be positive"
+            )));
+        }
+        let mut m = StreamMetrics::with_bucket(TimeDelta::from_secs(bucket_secs));
+        m.totals.published = json_usize(&v, "published")?;
+        m.totals.served = json_usize(&v, "served")?;
+        m.rejected = json_usize(&v, "rejected")?;
+        m.totals.revenue = FixedSum(json_i128_str(&v, "revenue")?);
+        m.totals.profit = FixedSum(json_i128_str(&v, "profit")?);
+        m.wait_secs_sum = json_i64(&v, "wait_secs")?;
+        m.deadhead_km = FixedSum(json_i128_str(&v, "deadhead")?);
+
+        let bucket_count = json_usize(&v, "bucket_count")?;
+        if bucket_count > MAX_SNAPSHOT_SLOTS {
+            return Err(SnapshotError(format!(
+                "bucket_count {bucket_count} too large"
+            )));
+        }
+        m.buckets.resize(bucket_count, StreamBucket::default());
+        for row in json_rows(&v, "buckets")? {
+            let [k, published, served, revenue, profit] = row_fields::<5>(row)?;
+            let k = cell_usize(k)?;
+            let b = m
+                .buckets
+                .get_mut(k)
+                .ok_or_else(|| SnapshotError(format!("bucket index {k} out of range")))?;
+            *b = StreamBucket {
+                published: cell_usize(published)?,
+                served: cell_usize(served)?,
+                revenue: FixedSum(cell_i128_str(revenue)?),
+                profit: FixedSum(cell_i128_str(profit)?),
+            };
+        }
+
+        let driver_count = json_usize(&v, "driver_count")?;
+        if driver_count > MAX_SNAPSHOT_SLOTS {
+            return Err(SnapshotError(format!(
+                "driver_count {driver_count} too large"
+            )));
+        }
+        m.register_drivers(driver_count);
+        for row in json_rows(&v, "drivers")? {
+            let [d, income, tasks] = row_fields::<3>(row)?;
+            let d = cell_usize(d)?;
+            if d >= driver_count {
+                return Err(SnapshotError(format!("driver index {d} out of range")));
+            }
+            m.income[d] = FixedSum(cell_i128_str(income)?);
+            m.tasks_per_driver[d] = u32::try_from(cell_usize(tasks)?)
+                .map_err(|_| SnapshotError("task count overflows u32".into()))?;
+        }
+        Ok(m)
+    }
+}
+
+/// Upper bound on snapshot-declared bucket/driver table sizes, so a
+/// hostile snapshot cannot make [`StreamMetrics::from_canonical_json`]
+/// allocate unbounded memory. Generous: 2²⁴ hourly buckets is ~1914
+/// years of stream time.
+const MAX_SNAPSHOT_SLOTS: usize = 1 << 24;
+
+fn json_num<'v>(v: &'v JsonValue, key: &str) -> Result<&'v str, SnapshotError> {
+    v.get(key)
+        .and_then(JsonValue::num)
+        .ok_or_else(|| SnapshotError(format!("missing numeric field {key:?}")))
+}
+
+fn json_i64(v: &JsonValue, key: &str) -> Result<i64, SnapshotError> {
+    json_num(v, key)?
+        .parse()
+        .map_err(|_| SnapshotError(format!("field {key:?} is not an i64")))
+}
+
+fn json_usize(v: &JsonValue, key: &str) -> Result<usize, SnapshotError> {
+    json_num(v, key)?
+        .parse()
+        .map_err(|_| SnapshotError(format!("field {key:?} is not a usize")))
+}
+
+fn json_i128_str(v: &JsonValue, key: &str) -> Result<i128, SnapshotError> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| SnapshotError(format!("missing string field {key:?}")))?
+        .parse()
+        .map_err(|_| SnapshotError(format!("field {key:?} is not an i128 string")))
+}
+
+fn json_rows<'v>(v: &'v JsonValue, key: &str) -> Result<&'v [JsonValue], SnapshotError> {
+    v.get(key)
+        .and_then(JsonValue::arr)
+        .ok_or_else(|| SnapshotError(format!("missing array field {key:?}")))
+}
+
+fn row_fields<const N: usize>(row: &JsonValue) -> Result<[&JsonValue; N], SnapshotError> {
+    let cells = row
+        .arr()
+        .ok_or_else(|| SnapshotError("table row is not an array".into()))?;
+    if cells.len() != N {
+        return Err(SnapshotError(format!(
+            "table row has {} cells, expected {N}",
+            cells.len()
+        )));
+    }
+    let mut out = [row; N];
+    for (o, c) in out.iter_mut().zip(cells) {
+        *o = c;
+    }
+    Ok(out)
+}
+
+fn cell_usize(c: &JsonValue) -> Result<usize, SnapshotError> {
+    c.num()
+        .ok_or_else(|| SnapshotError("table cell is not a number".into()))?
+        .parse()
+        .map_err(|_| SnapshotError("table cell is not a usize".into()))
+}
+
+fn cell_i128_str(c: &JsonValue) -> Result<i128, SnapshotError> {
+    c.as_str()
+        .ok_or_else(|| SnapshotError("table cell is not a string".into()))?
+        .parse()
+        .map_err(|_| SnapshotError("table cell is not an i128 string".into()))
 }
 
 impl StreamSink for StreamMetrics {
@@ -536,6 +770,54 @@ mod tests {
         ba.merge(&parts[0]);
         assert_eq!(ab, whole, "merge differs from whole-stream accumulation");
         assert_eq!(ba, whole, "merge is not commutative");
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let (_, metrics) = run(95, 300, 25);
+        let json = metrics.to_canonical_json();
+        assert!(json.starts_with("{\"schema\":\"rideshare-stream-metrics/1\""));
+        let back = StreamMetrics::from_canonical_json(&json).unwrap();
+        assert_eq!(back, metrics, "snapshot round trip must be lossless");
+        // Canonical: equal values serialise to identical bytes.
+        assert_eq!(back.to_canonical_json(), json);
+        // Empty accumulators round-trip too.
+        let empty = StreamMetrics::hourly();
+        let back = StreamMetrics::from_canonical_json(&empty.to_canonical_json()).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn hostile_snapshots_yield_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "[1,2,3]",
+            "{\"schema\":\"other/9\"}",
+            "{\"schema\":\"rideshare-stream-metrics/1\"}",
+            // Negative / oversized counts.
+            "{\"schema\":\"rideshare-stream-metrics/1\",\"bucket_secs\":-5,\"published\":0,\"served\":0,\"rejected\":0,\"revenue\":\"0\",\"profit\":\"0\",\"wait_secs\":0,\"deadhead\":\"0\",\"bucket_count\":0,\"buckets\":[],\"driver_count\":0,\"drivers\":[]}",
+            "{\"schema\":\"rideshare-stream-metrics/1\",\"bucket_secs\":3600,\"published\":0,\"served\":0,\"rejected\":0,\"revenue\":\"0\",\"profit\":\"0\",\"wait_secs\":0,\"deadhead\":\"0\",\"bucket_count\":99999999999,\"buckets\":[],\"driver_count\":0,\"drivers\":[]}",
+            // Out-of-range table indices.
+            "{\"schema\":\"rideshare-stream-metrics/1\",\"bucket_secs\":3600,\"published\":0,\"served\":0,\"rejected\":0,\"revenue\":\"0\",\"profit\":\"0\",\"wait_secs\":0,\"deadhead\":\"0\",\"bucket_count\":1,\"buckets\":[[7,1,1,\"0\",\"0\"]],\"driver_count\":0,\"drivers\":[]}",
+            "{\"schema\":\"rideshare-stream-metrics/1\",\"bucket_secs\":3600,\"published\":0,\"served\":0,\"rejected\":0,\"revenue\":\"0\",\"profit\":\"0\",\"wait_secs\":0,\"deadhead\":\"0\",\"bucket_count\":0,\"buckets\":[],\"driver_count\":1,\"drivers\":[[4,\"0\",1]]}",
+            // Wrong arity and wrong cell types.
+            "{\"schema\":\"rideshare-stream-metrics/1\",\"bucket_secs\":3600,\"published\":0,\"served\":0,\"rejected\":0,\"revenue\":\"0\",\"profit\":\"0\",\"wait_secs\":0,\"deadhead\":\"0\",\"bucket_count\":1,\"buckets\":[[0,1]],\"driver_count\":0,\"drivers\":[]}",
+            "{\"schema\":\"rideshare-stream-metrics/1\",\"bucket_secs\":3600,\"published\":0,\"served\":0,\"rejected\":0,\"revenue\":7,\"profit\":\"0\",\"wait_secs\":0,\"deadhead\":\"0\",\"bucket_count\":0,\"buckets\":[],\"driver_count\":0,\"drivers\":[]}",
+        ] {
+            assert!(
+                StreamMetrics::from_canonical_json(bad).is_err(),
+                "accepted hostile snapshot {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn register_drivers_matches_driver_online() {
+        let mut a = StreamMetrics::hourly();
+        a.register_drivers(5);
+        a.register_drivers(3); // never shrinks
+        assert_eq!(a.incomes().len(), 5);
     }
 
     #[test]

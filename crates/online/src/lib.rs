@@ -38,6 +38,15 @@
 //!   merge, and a debug-mode validator for the no-cross-shard-interaction
 //!   proof obligation; byte-identical to [`replay_stream`] on legal
 //!   partitions (the `shard_determinism` battery pins this),
+//! - [`ServeDaemon`] / [`IngestSource`]: the **long-running dispatch
+//!   daemon** — live ingestion from tailed JSONL/CSV files
+//!   ([`FileSource`]), a length-prefixed TCP frame stream ([`TcpSource`]),
+//!   or any in-process iterator ([`IterSource`]), with periodic metrics
+//!   snapshots and day-boundary state resets on the deterministic stream
+//!   clock, hostile-input hardening via typed [`IngestError`]s, and
+//!   graceful drain; a drained daemon is byte-identical to
+//!   [`replay_stream`] / [`replay_sharded`] over the same trace (the
+//!   `serve_equivalence` battery pins this),
 //! - [`validate_online`]: feasibility checking under *actual* (simulated)
 //!   timing rather than the offline task-map deadlines, and
 //!   [`validate_online_result`]: the same plus the dispatch-causality law
@@ -68,7 +77,9 @@
 
 mod batch;
 mod candidates;
+mod ingest;
 mod policy;
+mod serve;
 mod shard;
 mod simulator;
 mod stream;
@@ -78,8 +89,15 @@ pub use batch::{
     run_batched, run_batched_with, BatchEngine, BatchMatcher, BatchOptions, BatchRound,
     GreedyPairMatcher, MatcherKind, OptimalAssignmentMatcher,
 };
+pub use ingest::{
+    event_to_line, event_to_wire, wire_to_event, EventGuard, FileSource, IngestError, IngestFormat,
+    IngestSource, IterSource, TcpSource,
+};
 pub use policy::{
     Candidate, DispatchPolicy, MaxMargin, NearestDriver, RandomDispatch, WeightedScore,
+};
+pub use serve::{
+    DayPoint, ServeConfig, ServeDaemon, ServeOutcome, ServeReport, ServeStop, SnapshotPoint,
 };
 pub use shard::{
     replay_sharded, BoxPartitioner, GridHashPartitioner, PolicyHolder, RegionPartitioner,

@@ -420,9 +420,17 @@ enum ClockStep {
     Deliver,
     /// Open a batched window at the task's publish instant first.
     Open(Timestamp),
-    /// Close the current hold with this tick (then, for batched policies,
-    /// open the next window at the task's publish instant).
-    CloseThenOpen(Timestamp, Option<Timestamp>),
+    /// Close the current hold (then, for batched policies, open the next
+    /// window at the task's publish instant).
+    CloseThenOpen {
+        /// The epoch tick that closes every shard's hold.
+        tick: Timestamp,
+        /// The boundary decisions become final through — what the
+        /// sequential engine reports via [`StreamSink::window_closed`].
+        end: Timestamp,
+        /// For batched policies, where to anchor the next window.
+        reopen: Option<Timestamp>,
+    },
 }
 
 impl WindowClock {
@@ -448,26 +456,42 @@ impl WindowClock {
                 // publishes at `publish ≥ end + 1`, so the tick never
                 // outruns the stream.
                 self.hold_end = Some(publish);
-                ClockStep::CloseThenOpen(end + TimeDelta::from_secs(1), None)
+                ClockStep::CloseThenOpen {
+                    tick: end + TimeDelta::from_secs(1),
+                    end,
+                    reopen: None,
+                }
             }
             (Some(end), Some(w)) if publish > end => {
                 self.hold_end = Some(publish + w);
-                ClockStep::CloseThenOpen(end + TimeDelta::from_secs(1), Some(publish))
+                ClockStep::CloseThenOpen {
+                    tick: end + TimeDelta::from_secs(1),
+                    end,
+                    reopen: Some(publish),
+                }
             }
             (Some(_), _) => ClockStep::Deliver,
         }
     }
 
     /// A tick closes the hold only when it passes the hold end — the same
-    /// predicate the sequential engine applies.
-    fn on_tick(&mut self, t: Timestamp) -> Option<Timestamp> {
+    /// predicate the sequential engine applies. Returns the tick to
+    /// broadcast and the boundary decisions become final through.
+    fn on_tick(&mut self, t: Timestamp) -> Option<(Timestamp, Timestamp)> {
         match self.hold_end {
             Some(end) if end < t => {
                 self.hold_end = None;
-                Some(t)
+                Some((t, end))
             }
             _ => None,
         }
+    }
+
+    /// The still-open hold's boundary at end-of-stream, if any — the final
+    /// window the shards close in `finish`, which the merge stage must
+    /// still announce via [`StreamSink::window_closed`].
+    fn final_end(&self) -> Option<Timestamp> {
+        self.hold_end
     }
 }
 
@@ -498,6 +522,12 @@ struct Merger<'s> {
     queues: Vec<VecDeque<Vec<(Task, Decision)>>>,
     /// `maps[shard][local_announce_idx]` = the driver's global id.
     maps: Vec<Vec<DriverId>>,
+    /// Window boundaries in close order, noted by the router *before* the
+    /// shards' batches can arrive; each merged window pops one and fires
+    /// [`StreamSink::window_closed`], reproducing the sequential engine's
+    /// boundary announcements exactly (same ends, same count, same
+    /// position between decision batches).
+    boundaries: VecDeque<Timestamp>,
     sink: &'s mut dyn StreamSink,
 }
 
@@ -506,8 +536,14 @@ impl<'s> Merger<'s> {
         Self {
             queues: (0..shards).map(|_| VecDeque::new()).collect(),
             maps: vec![Vec::new(); shards],
+            boundaries: VecDeque::new(),
             sink,
         }
+    }
+
+    /// Records that the router just closed the global hold at `end`.
+    fn note_boundary(&mut self, end: Timestamp) {
+        self.boundaries.push_back(end);
     }
 
     /// Relays a (global) driver announcement to the caller's sink and
@@ -549,6 +585,14 @@ impl<'s> Merger<'s> {
                     }
                     Decision::Rejected(at) => self.sink.rejected(&task, at),
                 }
+            }
+            // One boundary per real window. The end-of-stream `Done`
+            // batches form one extra merged "window" even when the hold
+            // was already closed — it is empty then and has no boundary
+            // note, so nothing fires (the sequential engine is silent in
+            // that case too).
+            if let Some(end) = self.boundaries.pop_front() {
+                self.sink.window_closed(end);
             }
         }
     }
@@ -794,7 +838,8 @@ impl<'p> ShardedStreamEngine<'p> {
                     match clock.on_task(task.publish_time) {
                         ClockStep::Deliver => {}
                         ClockStep::Open(at) => open_all(&mut engines, &mut holders, at),
-                        ClockStep::CloseThenOpen(tick, reopen) => {
+                        ClockStep::CloseThenOpen { tick, end, reopen } => {
+                            merger.note_boundary(end);
                             close_all_shards(
                                 &mut engines,
                                 &mut holders,
@@ -825,7 +870,8 @@ impl<'p> ShardedStreamEngine<'p> {
                     );
                 }
                 StreamEvent::EpochTick(t) => {
-                    if let Some(tick) = clock.on_tick(t) {
+                    if let Some((tick, end)) = clock.on_tick(t) {
+                        merger.note_boundary(end);
                         close_all_shards(
                             &mut engines,
                             &mut holders,
@@ -852,6 +898,9 @@ impl<'p> ShardedStreamEngine<'p> {
             for task in engines[shard].pending_tasks().to_vec() {
                 check_partition(&engines, shard, &task);
             }
+        }
+        if let Some(end) = clock.final_end() {
+            merger.note_boundary(end);
         }
         let mut summaries = Vec::with_capacity(shards);
         for (shard, engine) in engines.into_iter().enumerate() {
@@ -977,7 +1026,8 @@ impl<'p> ShardedStreamEngine<'p> {
                                     send(&mut merger, &mut summaries, s, ShardMsg::Open(at));
                                 }
                             }
-                            ClockStep::CloseThenOpen(tick, reopen) => {
+                            ClockStep::CloseThenOpen { tick, end, reopen } => {
+                                merger.note_boundary(end);
                                 for s in 0..shards {
                                     send(&mut merger, &mut summaries, s, ShardMsg::Close(tick));
                                 }
@@ -1005,7 +1055,8 @@ impl<'p> ShardedStreamEngine<'p> {
                         );
                     }
                     StreamEvent::EpochTick(t) => {
-                        if let Some(tick) = clock.on_tick(t) {
+                        if let Some((tick, end)) = clock.on_tick(t) {
+                            merger.note_boundary(end);
                             for s in 0..shards {
                                 send(&mut merger, &mut summaries, s, ShardMsg::Close(tick));
                             }
@@ -1024,6 +1075,9 @@ impl<'p> ShardedStreamEngine<'p> {
             }
 
             let _ = &send;
+            if let Some(end) = clock.final_end() {
+                merger.note_boundary(end);
+            }
             drop(txs); // end-of-stream: workers finish and report
             while summaries.iter().any(Option::is_none) {
                 match out_rx.recv() {
@@ -1105,7 +1159,14 @@ mod tests {
         assert!(matches!(c.on_task(T::from_secs(10)), ClockStep::Deliver));
         assert!(matches!(c.on_task(T::from_secs(10)), ClockStep::Deliver));
         match c.on_task(T::from_secs(15)) {
-            ClockStep::CloseThenOpen(tick, None) => assert_eq!(tick, T::from_secs(11)),
+            ClockStep::CloseThenOpen {
+                tick,
+                end,
+                reopen: None,
+            } => {
+                assert_eq!(tick, T::from_secs(11));
+                assert_eq!(end, T::from_secs(10));
+            }
             other => panic!("unexpected {:?}", std::mem::discriminant(&other)),
         }
         // Batched: window end = open + W; ticks close only past the end.
@@ -1116,14 +1177,24 @@ mod tests {
         }
         assert!(matches!(c.on_task(T::from_secs(160)), ClockStep::Deliver));
         match c.on_task(T::from_secs(161)) {
-            ClockStep::CloseThenOpen(tick, Some(at)) => {
+            ClockStep::CloseThenOpen {
+                tick,
+                end,
+                reopen: Some(at),
+            } => {
                 assert_eq!(tick, T::from_secs(161));
+                assert_eq!(end, T::from_secs(160));
                 assert_eq!(at, T::from_secs(161));
             }
             _ => panic!("expected close+open"),
         }
         assert_eq!(c.on_tick(T::from_secs(200)), None);
-        assert_eq!(c.on_tick(T::from_secs(222)), Some(T::from_secs(222)));
+        assert_eq!(c.final_end(), Some(T::from_secs(221)));
+        assert_eq!(
+            c.on_tick(T::from_secs(222)),
+            Some((T::from_secs(222), T::from_secs(221)))
+        );
+        assert_eq!(c.final_end(), None);
         assert_eq!(c.on_tick(T::from_secs(500)), None, "hold already closed");
     }
 

@@ -143,6 +143,13 @@ pub trait StreamSink {
     /// `task` was rejected at `decision_time` (empty candidate set, policy
     /// refusal, or unmatched at its batch epoch).
     fn rejected(&mut self, _task: &Task, _decision_time: Timestamp) {}
+    /// A publish group or batch window was fully decided: every
+    /// `dispatched`/`rejected` call for it has been delivered, and
+    /// decisions are final through `end`. The serve daemon hangs snapshot
+    /// and day-rollover logic off this hook because boundaries land on
+    /// the *stream* clock — identical across shard counts and ingestion
+    /// backends — never on wall time.
+    fn window_closed(&mut self, _end: Timestamp) {}
 }
 
 /// Options for a streaming replay.
@@ -507,6 +514,30 @@ impl StreamEngine {
         }
     }
 
+    /// Proactively retires every driver whose shift provably cannot matter
+    /// again and garbage-collects their resident state — the serve
+    /// daemon's day-boundary reset. Same lossless retirement proof as the
+    /// threshold-triggered compaction in the flush path (decisions and
+    /// metrics are byte-identical with or without this call); only the
+    /// high-water resident-state diagnostics can differ. No-op when
+    /// nothing is provably expired yet.
+    pub fn compact_now(&mut self, policy: &StreamPolicy<'_>) {
+        let Some(floor) = self.pending.first().map(|t| t.publish_time).or(self.clock) else {
+            return;
+        };
+        while let Some(&Reverse((end, d))) = self.expiry.peek() {
+            if Timestamp::from_secs(end) < floor {
+                if self.engine.expire(d) {
+                    self.expired_total += 1;
+                }
+                self.expiry.pop();
+            } else {
+                break;
+            }
+        }
+        self.compact(matches!(policy, StreamPolicy::Batched { .. }));
+    }
+
     /// Orders currently held (published, undecided), for the sharding
     /// validator's re-checks at window boundaries.
     pub(crate) fn pending_tasks(&self) -> &[Task] {
@@ -652,6 +683,12 @@ impl StreamEngine {
                 self.decided_through = Some(end);
             }
             (held, _) => panic!("policy kind changed mid-stream while holding {held:?}"),
+        }
+        // Decisions are now final through `decided_through` (both arms
+        // just set it) — announce the boundary before any compaction, so
+        // sinks observe state transitions in stream order.
+        if let Some(end) = self.decided_through {
+            sink.window_closed(end);
         }
         // Flagged-but-resident drivers, without the O(residents) flag scan
         // (`expire` counts transitions, `compact` counts removals) — flush

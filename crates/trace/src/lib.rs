@@ -49,6 +49,7 @@ mod sampler;
 pub mod stats;
 mod stream;
 mod trip;
+pub mod wire;
 
 pub use csv::{drivers_from_csv, drivers_to_csv, trips_from_csv, trips_to_csv};
 pub use driver::{DriverModel, DriverShift};

@@ -11,7 +11,13 @@
 //! - `sweep` — run the scenario × policy matrix through the parallel
 //!   sharded sweep engine and emit a JSON/CSV report,
 //! - `replay` — stream a synthetic Porto day of any size (millions of
-//!   orders) through the bounded-memory streaming engine.
+//!   orders) through the bounded-memory streaming engine,
+//! - `export` — write that same event stream as a JSONL/CSV event log a
+//!   daemon can ingest,
+//! - `serve` — the long-running dispatch daemon: ingest live events from
+//!   a (tailed) file or a TCP frame stream, snapshot metrics at window
+//!   boundaries, roll state daily, and drain to a result byte-identical
+//!   to `replay` over the same trace.
 //!
 //! Examples:
 //!
@@ -23,6 +29,8 @@
 //! rideshare bound    --dir /tmp/day
 //! rideshare sweep    --scenarios all --threads 8 --json report.json
 //! rideshare replay   --tasks 1000000 --drivers 450 --policy margin
+//! rideshare export   --tasks 400 --drivers 60 --out /tmp/day.jsonl
+//! rideshare serve    --source jsonl:/tmp/day.jsonl --snapshot-dir /tmp/snaps
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -48,6 +56,8 @@ fn main() -> ExitCode {
         "bound" => with_market(&args[1..], bound),
         "sweep" => sweep(&args[1..]),
         "replay" => replay(&args[1..]),
+        "export" => export(&args[1..]),
+        "serve" => serve(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -85,6 +95,16 @@ USAGE:
                      [--surge-window MINS] [--no-grid] [--quiet-table]
                      [--shards N] [--regions K] [--canonical]
                      (bounded-memory streaming replay; N can be millions)
+  rideshare export   [--tasks N] [--drivers N] [--seed S]
+                     [--model hitch|hwh] [--delivery] [--regions K]
+                     [--surge-window MINS] [--format jsonl|csv] [--out PATH]
+                     (write the priced event stream as an ingestable log)
+  rideshare serve    --source jsonl:PATH|csv:PATH|tcp:ADDR
+                     [--policy margin|nearest|batch-<W>|batch-opt-<W>]
+                     [--shards N] [--regions K] [--follow]
+                     [--snapshot-dir DIR] [--snapshot-mins M] [--day-hours H]
+                     [--no-grid] [--quiet-table] [--canonical]
+                     (long-running dispatch daemon over a live event feed)
 
 DIR holds trips.csv and drivers.csv as written by `generate`.
 `sweep --scenarios list` prints the catalog. Policies: greedy, maxMargin,
@@ -101,7 +121,19 @@ the logged high-water mark shows it. `--shards N` runs the region-sharded
 parallel engine over an N-region trace (or `--regions K ≥ N` regions
 folded round-robin): decisions and metrics are byte-identical to
 `--shards 1` on the same `--regions`, only faster. `--canonical` omits
-wall-clock lines so reports diff clean across shard counts.";
+wall-clock lines so reports diff clean across shard counts.
+
+`export` writes the replay pipeline's event stream (drivers, priced
+tasks, end-of-stream marker) as a JSONL or CSV log. `serve` ingests such
+a log — or the same events framed over TCP (`tcp:ADDR` binds and serves
+one connection) — through the identical engines: a drained daemon's
+table and summary are byte-identical to `replay --canonical` on the same
+trace, for any shard count and any ingestion backend. `--follow` tails a
+growing file until its end-of-stream line; `--snapshot-dir` receives
+canonical-JSON metrics snapshots every `--snapshot-mins` (default 60) of
+stream time, per-day tables at each `--day-hours` (default 24) rollover,
+and a final cumulative snapshot. Malformed or contract-violating input
+drains cleanly and exits nonzero — never a panic.";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -300,12 +332,33 @@ fn sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn replay(args: &[String]) -> Result<(), String> {
+/// Parses `--policy` into the shard-stable streaming policy spec, through
+/// the same `PolicySpec` grammar as `simulate` and `sweep`. Shared by
+/// `replay` and `serve` so both sides of the equivalence pin agree on
+/// what a policy label means.
+fn parse_stream_policy(args: &[String]) -> Result<rideshare::online::ShardPolicySpec, String> {
     use rideshare::bench::PolicySpec;
+    use rideshare::online::ShardPolicySpec;
+
+    match flag_value(args, "--policy") {
+        Some("nearest") => Ok(ShardPolicySpec::Nearest { seed: 0 }),
+        Some("margin") | None => Ok(ShardPolicySpec::MaxMargin),
+        Some(label) => match PolicySpec::parse(label).and_then(|p| p.batch_options()) {
+            Some(opts) => Ok(ShardPolicySpec::Batched {
+                window: opts.window,
+                matcher: opts.matcher,
+            }),
+            None => Err(format!(
+                "unknown policy '{label}' (margin|nearest|batch-<W>|batch-opt-<W>)"
+            )),
+        },
+    }
+}
+
+fn replay(args: &[String]) -> Result<(), String> {
     use rideshare::metrics::StreamMetrics;
     use rideshare::online::{
-        replay_sharded, BoxPartitioner, ShardOptions, ShardPolicySpec, StreamEngine, StreamEvent,
-        StreamOptions,
+        replay_sharded, BoxPartitioner, ShardOptions, StreamEngine, StreamEvent, StreamOptions,
     };
 
     let tasks: usize = parse_flag(args, "--tasks", 100_000)?;
@@ -346,21 +399,7 @@ fn replay(args: &[String]) -> Result<(), String> {
 
     // The streaming policy, parsed through the same PolicySpec grammar as
     // `simulate` and `sweep` — one shard-stable spec for both paths.
-    let spec = match flag_value(args, "--policy") {
-        Some("nearest") => ShardPolicySpec::Nearest { seed: 0 },
-        Some("margin") | None => ShardPolicySpec::MaxMargin,
-        Some(label) => match PolicySpec::parse(label).and_then(|p| p.batch_options()) {
-            Some(opts) => ShardPolicySpec::Batched {
-                window: opts.window,
-                matcher: opts.matcher,
-            },
-            None => {
-                return Err(format!(
-                    "unknown policy '{label}' (margin|nearest|batch-<W>|batch-opt-<W>)"
-                ))
-            }
-        },
-    };
+    let spec = parse_stream_policy(args)?;
 
     // The full streaming pipeline: lazy trip generation → incremental
     // pricing → bounded-memory dispatch (sequential or region-sharded) →
@@ -450,6 +489,274 @@ fn replay(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn export(args: &[String]) -> Result<(), String> {
+    use rideshare::online::{event_to_line, IngestFormat, StreamEvent};
+    use rideshare::trace::wire;
+    use std::io::Write as _;
+
+    let tasks: usize = parse_flag(args, "--tasks", 100_000)?;
+    let drivers: usize = parse_flag(args, "--drivers", 450)?;
+    let seed: u64 = parse_flag(args, "--seed", 0)?;
+    let surge_mins: i64 = parse_flag(args, "--surge-window", 30)?;
+    let regions: usize = parse_flag(args, "--regions", 1)?;
+    let format = match flag_value(args, "--format") {
+        Some("csv") => IngestFormat::Csv,
+        Some("jsonl") | None => IngestFormat::Jsonl,
+        Some(other) => return Err(format!("unknown format '{other}' (jsonl|csv)")),
+    };
+    let model = match flag_value(args, "--model") {
+        Some("hwh") => DriverModel::HomeWorkHome,
+        _ => DriverModel::Hitchhiking,
+    };
+    let base = if args.iter().any(|a| a == "--delivery") {
+        TraceConfig::porto_delivery()
+    } else {
+        TraceConfig::porto()
+    };
+    let mut config = base
+        .with_seed(seed)
+        .with_task_count(tasks)
+        .with_driver_count(drivers, model);
+    if regions > 1 {
+        config = config.with_regions(regions);
+    }
+
+    // The same lazy pipeline `replay` runs — trips generate in publish
+    // order, the surge pricer turns them into priced tasks — but the
+    // events leave as text lines instead of entering an engine, so a
+    // daemon ingesting this log decides exactly what `replay` decides.
+    let stream = config.stream();
+    let build = MarketBuildOptions {
+        surge_window: (surge_mins > 0).then(|| TimeDelta::from_mins(surge_mins)),
+        ..MarketBuildOptions::default()
+    };
+    let mut pricer = rideshare::core::StreamPricer::new(
+        &build,
+        stream.bounding_box(),
+        stream.speed(),
+        stream.drivers(),
+    );
+
+    let mut out: Box<dyn std::io::Write> = match flag_value(args, "--out") {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    };
+    let mut emit = |line: String| -> Result<(), String> {
+        writeln!(out, "{line}").map_err(|e| format!("writing event log: {e}"))
+    };
+    let mut count = 0usize;
+    for shift in stream.drivers() {
+        emit(event_to_line(
+            &StreamEvent::DriverOnline(Driver::from(shift)),
+            format,
+        ))?;
+        count += 1;
+    }
+    for trip in stream {
+        let task = pricer.price(&trip);
+        emit(event_to_line(&StreamEvent::TaskPublished(task), format))?;
+        count += 1;
+    }
+    let eos = match format {
+        IngestFormat::Jsonl => wire::to_json_line(&wire::WireEvent::Eos),
+        IngestFormat::Csv => wire::to_csv_line(&wire::WireEvent::Eos),
+    };
+    emit(eos)?;
+    if let Some(path) = flag_value(args, "--out") {
+        println!("wrote {count} events (+ end-of-stream) to {path}");
+    }
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    use rideshare::metrics::MetricsJournal;
+    use rideshare::online::{
+        BoxPartitioner, FileSource, IngestFormat, IngestSource, ServeConfig, ServeDaemon,
+        ServeStop, ShardOptions, StreamOptions, TcpSource,
+    };
+
+    let source_arg = flag_value(args, "--source")
+        .ok_or_else(|| format!("--source jsonl:PATH|csv:PATH|tcp:ADDR required\n{USAGE}"))?;
+    let shards: usize = parse_flag(args, "--shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let regions: usize = parse_flag(args, "--regions", shards.max(1))?;
+    if regions < shards {
+        return Err(format!(
+            "--regions {regions} < --shards {shards}: a shard would own no region"
+        ));
+    }
+    let day_hours: i64 = parse_flag(args, "--day-hours", 24)?;
+    if day_hours <= 0 {
+        return Err("--day-hours must be positive".into());
+    }
+    let snapshot_mins: i64 = parse_flag(args, "--snapshot-mins", 60)?;
+    if snapshot_mins <= 0 {
+        return Err("--snapshot-mins must be positive".into());
+    }
+    let snapshot_dir = flag_value(args, "--snapshot-dir").map(PathBuf::from);
+    if let Some(dir) = &snapshot_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    let canonical = args.iter().any(|a| a == "--canonical");
+    let follow = args.iter().any(|a| a == "--follow");
+    let spec = parse_stream_policy(args)?;
+
+    let options = if args.iter().any(|a| a == "--no-grid") {
+        StreamOptions::default()
+    } else {
+        // The daemon has no trace in hand; the replay pipeline's bounding
+        // box is the city model's, so using it here keeps the pruning
+        // grid — and therefore the equivalence pin — identical.
+        StreamOptions::default().grid(rideshare::geo::porto::bounding_box())
+    };
+    let mut config = ServeConfig::new(shards)
+        .shard_options(ShardOptions::new(shards).stream(options).validate(false))
+        .day_length(TimeDelta::from_hours(day_hours));
+    if snapshot_dir.is_some() {
+        config = config.snapshot_every(TimeDelta::from_mins(snapshot_mins));
+    }
+
+    // `--regions K` reconstructs the same region geometry `replay` slices
+    // the trace by, so the partition (and thus every decision) matches.
+    let boxes = TraceConfig::porto().with_regions(regions).region_boxes();
+    let partitioner = BoxPartitioner::new(boxes);
+    let mut daemon = ServeDaemon::new(SpeedModel::urban(), spec, config);
+    if shards > 1 {
+        daemon = daemon.with_partitioner(&partitioner);
+    }
+
+    let mut source: Box<dyn IngestSource> = match source_arg.split_once(':') {
+        Some(("jsonl", path)) => Box::new(
+            FileSource::open(Path::new(path), IngestFormat::Jsonl)
+                .map_err(|e| format!("opening {path}: {e}"))?
+                .follow(follow),
+        ),
+        Some(("csv", path)) => Box::new(
+            FileSource::open(Path::new(path), IngestFormat::Csv)
+                .map_err(|e| format!("opening {path}: {e}"))?
+                .follow(follow),
+        ),
+        Some(("tcp", addr)) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+            // Stderr, so canonical stdout diffs stay clean.
+            eprintln!(
+                "serve: listening on {}",
+                listener.local_addr().map_err(|e| e.to_string())?
+            );
+            let (conn, peer) = listener.accept().map_err(|e| format!("accepting: {e}"))?;
+            eprintln!("serve: ingesting from {peer}");
+            Box::new(TcpSource::from_stream(conn))
+        }
+        _ => {
+            return Err(format!(
+                "bad --source '{source_arg}' (jsonl:PATH|csv:PATH|tcp:ADDR)"
+            ))
+        }
+    };
+
+    let mut journal = MetricsJournal::hourly();
+    // Both hooks write files; a RefCell keeps the shared "first write
+    // error" without making the helper uniquely borrowed by one closure.
+    let write_err: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
+    let dir = snapshot_dir.as_deref();
+    let write_snapshot = |name: String, json: String| {
+        let Some(dir) = dir else { return };
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            write_err
+                .borrow_mut()
+                .get_or_insert(format!("writing {}: {e}", path.display()));
+        }
+    };
+    let start = std::time::Instant::now();
+    let outcome = daemon.run(
+        source.as_mut(),
+        &mut journal,
+        |p, journal: &mut MetricsJournal| {
+            write_snapshot(
+                format!("snap-{:05}.json", p.seq),
+                journal.cumulative().to_canonical_json(),
+            );
+        },
+        |d, journal: &mut MetricsJournal| {
+            let closed = journal.roll_day();
+            write_snapshot(format!("day-{:05}.json", d.day), closed.to_canonical_json());
+        },
+    );
+    let elapsed = start.elapsed().as_secs_f64();
+    let report = &outcome.report;
+    let metrics = journal.cumulative();
+    if let Some(dir) = &snapshot_dir {
+        let path = dir.join("final.json");
+        std::fs::write(&path, metrics.to_canonical_json() + "\n")
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+
+    // Mirror `replay`'s report exactly (modulo the `serve:` prefix and the
+    // daemon-only lines): the serve-equivalence CI cell diffs the two.
+    if !args.iter().any(|a| a == "--quiet-table") {
+        println!("{}", metrics.render());
+    }
+    println!(
+        "serve: served {}/{} ({:.1}%), revenue {:.2}, profit {:.2}",
+        report.summary.served,
+        report.summary.tasks,
+        metrics.service_rate() * 100.0,
+        metrics.revenue(),
+        metrics.profit(),
+    );
+    if let (Some(wait), Some(income)) = (
+        metrics.mean_wait_mins(),
+        metrics.mean_income_per_active_driver(),
+    ) {
+        println!(
+            "        mean wait {wait:.1} min, deadhead {:.1} km, {} active drivers, \
+             {income:.2} mean income",
+            metrics.total_deadhead_km(),
+            metrics.active_drivers(),
+        );
+    }
+    println!(
+        "        {} region(s) × {} shard(s); peak resident state: {} held orders + {} \
+         drivers ({} compacted) (O(active + drivers), trace never materialised)",
+        regions,
+        shards,
+        report.summary.peak_held_tasks,
+        report.summary.drivers,
+        report.summary.compacted_drivers,
+    );
+    println!(
+        "        {} event(s), {} window(s), {} day(s) rolled, {} snapshot(s); stop: {}",
+        report.events,
+        report.windows,
+        report.days,
+        report.snapshots,
+        match report.stop {
+            ServeStop::Drained => "drained",
+            ServeStop::Shutdown => "shutdown",
+            ServeStop::Error => "ingest error",
+        },
+    );
+    if !canonical {
+        println!(
+            "        {:.0} tasks/s over {elapsed:.2}s",
+            report.summary.tasks as f64 / elapsed.max(1e-9),
+        );
+    }
+    if let Some(e) = write_err.into_inner() {
+        return Err(e);
+    }
+    match outcome.error {
+        Some(e) => Err(format!("ingest: {e}")),
+        None => Ok(()),
+    }
 }
 
 fn bound(market: Market) -> Result<(), String> {

@@ -15,7 +15,7 @@
 //! | [`graph`] | `rideshare-graph` | weighted DAGs and longest-path DP |
 //! | [`lp`] | `rideshare-lp` | simplex, packing LP (column generation), branch & bound |
 //! | [`core`] | `rideshare-core` | the market model, task maps, GA, `Z_f*`, exact ILP, Fig. 2 |
-//! | [`online`] | `rideshare-online` | the online simulator, Nearest & maxMargin dispatch |
+//! | [`online`] | `rideshare-online` | the online simulator, Nearest & maxMargin dispatch, streaming engines, the `serve` daemon |
 //! | [`metrics`] | `rideshare-metrics` | evaluation metrics and table rendering |
 //! | [`bench`](mod@bench) | `rideshare-bench` | scenario catalog, parallel sharded sweep engine, figure harness |
 //!
@@ -68,15 +68,17 @@ pub mod prelude {
     };
     pub use rideshare_geo::{BoundingBox, GeoPoint, SpeedModel};
     pub use rideshare_metrics::{
-        render_series, render_table, MarketMetrics, Series, StreamMetrics,
+        render_series, render_table, MarketMetrics, MetricsJournal, Series, StreamMetrics,
     };
     pub use rideshare_online::{
         market_events, replay_sharded, replay_stream, run_batched, run_batched_with,
         validate_online, validate_online_result, BatchEngine, BatchMatcher, BatchOptions,
-        BoxPartitioner, CollectingSink, DispatchPolicy, GridHashPartitioner, MatcherKind,
-        MaxMargin, NearestDriver, RandomDispatch, RegionPartitioner, ShardOptions, ShardPolicySpec,
-        ShardedStreamEngine, SimulationOptions, Simulator, StreamEngine, StreamEvent,
-        StreamOptions, StreamPolicy, StreamSink, StreamSummary,
+        BoxPartitioner, CollectingSink, DispatchPolicy, FileSource, GridHashPartitioner,
+        IngestError, IngestFormat, IngestSource, IterSource, MatcherKind, MaxMargin, NearestDriver,
+        RandomDispatch, RegionPartitioner, ServeConfig, ServeDaemon, ServeOutcome, ServeReport,
+        ServeStop, ShardOptions, ShardPolicySpec, ShardedStreamEngine, SimulationOptions,
+        Simulator, StreamEngine, StreamEvent, StreamOptions, StreamPolicy, StreamSink,
+        StreamSummary, TcpSource,
     };
     pub use rideshare_pricing::{FareModel, SurgeConfig, SurgeEngine, WtpModel};
     pub use rideshare_trace::{

@@ -166,6 +166,149 @@ fn replay_streams_in_bounded_memory() {
     assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown policy"));
 }
 
+/// Normalizes a `serve --canonical` report onto `replay --canonical`'s
+/// shape: the subcommand prefix differs and serve appends one daemon-only
+/// diagnostics line (events/windows/days/snapshots). Everything else —
+/// the metrics table, the served/revenue/profit line, mean wait, the
+/// peak-resident-state line — must match byte for byte.
+fn serve_as_replay(stdout: &str) -> String {
+    stdout
+        .lines()
+        .filter(|l| !l.contains("window(s)"))
+        .map(|l| l.replacen("serve:", "replay:", 1))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn export_serve_jsonl_matches_replay_and_writes_snapshots() {
+    use rideshare::metrics::{StreamMetrics, SNAPSHOT_SCHEMA};
+
+    let dir = tmpdir("serve-jsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("events.jsonl");
+    let log_s = log.to_str().unwrap().to_string();
+    let snaps = dir.join("snapshots");
+    let snaps_s = snaps.to_str().unwrap().to_string();
+    let trace = ["--tasks", "1500", "--drivers", "30", "--seed", "7"];
+
+    // Export the event log the daemon will ingest.
+    let mut export_args = vec!["export"];
+    export_args.extend_from_slice(&trace);
+    export_args.extend_from_slice(&["--out", &log_s]);
+    let exported = cli(&export_args);
+    assert!(
+        exported.status.success(),
+        "{}",
+        String::from_utf8_lossy(&exported.stderr)
+    );
+    let log_text = std::fs::read_to_string(&log).unwrap();
+    assert_eq!(log_text.lines().count(), 30 + 1500 + 1, "events + EOS");
+
+    // The drained daemon's canonical report equals replay's byte for byte.
+    let served = cli(&[
+        "serve",
+        "--source",
+        &format!("jsonl:{log_s}"),
+        "--policy",
+        "margin",
+        "--canonical",
+        "--snapshot-dir",
+        &snaps_s,
+    ]);
+    assert!(
+        served.status.success(),
+        "{}",
+        String::from_utf8_lossy(&served.stderr)
+    );
+    let serve_stdout = String::from_utf8_lossy(&served.stdout);
+    assert!(serve_stdout.contains("stop: drained"), "{serve_stdout}");
+
+    let mut replay_args = vec!["replay"];
+    replay_args.extend_from_slice(&trace);
+    replay_args.extend_from_slice(&["--policy", "margin", "--canonical"]);
+    let replayed = cli(&replay_args);
+    assert!(replayed.status.success());
+    let replay_stdout = String::from_utf8_lossy(&replayed.stdout);
+    assert_eq!(
+        serve_as_replay(&serve_stdout),
+        serve_as_replay(&replay_stdout)
+    );
+
+    // Snapshots: the schema pin holds, every file parses back exactly, and
+    // the final snapshot is the fixed point of parse → re-serialize.
+    let final_json = std::fs::read_to_string(snaps.join("final.json")).unwrap();
+    assert!(
+        final_json.starts_with(&format!("{{\"schema\":\"{SNAPSHOT_SCHEMA}\"")),
+        "{final_json}"
+    );
+    let mut snapshot_files = 0usize;
+    for entry in std::fs::read_dir(&snaps).unwrap() {
+        let path = entry.unwrap().path();
+        let json = std::fs::read_to_string(&path).unwrap();
+        let parsed = StreamMetrics::from_canonical_json(json.trim())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            parsed.to_canonical_json(),
+            json.trim(),
+            "{}",
+            path.display()
+        );
+        snapshot_files += 1;
+    }
+    assert!(
+        snapshot_files >= 2,
+        "final.json + hourly snapshots expected"
+    );
+    assert!(
+        std::fs::read_dir(&snaps)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().starts_with("snap-")),
+        "no periodic snap-*.json written"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_rejects_malformed_input_with_typed_errors() {
+    let dir = tmpdir("serve-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A log that goes bad mid-stream: the daemon must exit nonzero with a
+    // typed ingest error, not a panic or a silent success.
+    let log = dir.join("bad.jsonl");
+    std::fs::write(&log, "{\"event\":\"epoch\",\"at\":60}\nnot json at all\n").unwrap();
+    let bad = cli(&[
+        "serve",
+        "--source",
+        &format!("jsonl:{}", log.to_str().unwrap()),
+    ]);
+    assert!(!bad.status.success());
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("error: ingest:"), "{stderr}");
+
+    // Bad source schemes and shard/region mismatches are caught up front.
+    let scheme = cli(&["serve", "--source", "ftp://example"]);
+    assert!(!scheme.status.success());
+    assert!(String::from_utf8_lossy(&scheme.stderr).contains("--source"));
+
+    let mismatch = cli(&[
+        "serve",
+        "--source",
+        &format!("jsonl:{}", log.to_str().unwrap()),
+        "--shards",
+        "4",
+        "--regions",
+        "2",
+    ]);
+    assert!(!mismatch.status.success());
+    assert!(String::from_utf8_lossy(&mismatch.stderr).contains("--regions"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn replay_shard_counts_print_identical_canonical_reports() {
     // The acceptance criterion at CLI level, small scale: the same

@@ -8,6 +8,8 @@
 //!   `#![proptest_config(…)]` header),
 //! - range strategies (`0usize..8`, `-1e6f64..1e6`, `0u64..=9`),
 //! - tuple strategies, [`collection::vec`], and [`strategy::any`],
+//! - [`prop_oneof!`], [`strategy::Just`], and
+//!   [`Strategy::prop_map`](strategy::Strategy::prop_map),
 //! - [`prop_assert!`]/[`prop_assert_eq!`] and
 //!   [`test_runner::ProptestConfig`].
 //!
@@ -40,6 +42,11 @@ pub mod strategy {
     use rand::rngs::StdRng;
     use rand::Rng;
 
+    /// The RNG driving every strategy — re-exported so macro expansions
+    /// (e.g. [`prop_oneof!`](crate::prop_oneof)) can name it through
+    /// `$crate` without the consumer depending on `rand`.
+    pub use rand::rngs::StdRng as StrategyRng;
+
     /// A recipe for generating values of type `Value`.
     pub trait Strategy {
         /// The type of value this strategy produces.
@@ -47,6 +54,80 @@ pub mod strategy {
 
         /// Draws one value from `rng`.
         fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// A strategy applying `f` to every generated value.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy producing one fixed value, like proptest's `Just`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// One weighted arm of a [`Union`]: a weight and a boxed generator.
+    pub type UnionArm<T> = (u32, Box<dyn Fn(&mut StdRng) -> T>);
+
+    /// The weighted-choice strategy built by
+    /// [`prop_oneof!`](crate::prop_oneof): each case draws one arm with
+    /// probability proportional to its weight.
+    pub struct Union<T> {
+        arms: Vec<UnionArm<T>>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `(weight, generator)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty or all weights are zero.
+        #[must_use]
+        pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (weight, arm) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return arm(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights sum to total")
+        }
     }
 
     macro_rules! range_strategy {
@@ -109,6 +190,14 @@ pub mod strategy {
     impl Arbitrary for u32 {
         fn arbitrary(rng: &mut StdRng) -> Self {
             rng.gen::<u32>()
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // The vendored rand only samples unsigned words; reinterpreting
+            // the bits covers the full i64 range uniformly.
+            rng.gen::<u64>() as i64
         }
     }
 
@@ -241,10 +330,34 @@ pub mod test_runner {
 
 /// One-line import of everything a `proptest!` test needs.
 pub mod prelude {
+    pub use crate as prop;
     pub use crate::collection;
-    pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Picks one of several strategies per generated value, optionally
+/// weighted (`3 => strat_a, 1 => strat_b`); unweighted arms get weight 1.
+/// All arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let strat = $strat;
+                (
+                    $weight as u32,
+                    Box::new(move |rng: &mut $crate::strategy::StrategyRng| {
+                        $crate::strategy::Strategy::generate(&strat, rng)
+                    }) as Box<dyn Fn(&mut $crate::strategy::StrategyRng) -> _>,
+                )
+            }),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Asserts a condition inside a property; panics with the standard
@@ -312,6 +425,25 @@ mod tests {
             prop_assert!(xs.len() < 20);
             prop_assert_eq!(fixed.len(), 8);
             prop_assert!(xs.iter().all(|v| (-5.0..5.0).contains(v)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn oneof_just_and_map_compose(
+            v in prop_oneof![
+                4 => (0i64..10).prop_map(|n: i64| -> i64 { n * 2 }),
+                1 => Just(-7i64),
+            ],
+            flag in prop_oneof![Just(true), Just(false)],
+        ) {
+            // The union's value type is inferred from use, exactly like a
+            // `-> impl Strategy<Value = …>` return annotation would pin it.
+            let v: i64 = v;
+            let _: bool = flag;
+            prop_assert!(v == -7 || (0..20).contains(&v));
+            prop_assert!(v == -7 || v % 2 == 0);
         }
     }
 
