@@ -1,0 +1,362 @@
+//! BENCH_7 harness: wall-clock throughput of the dispatch hot path,
+//! before/after the zero-alloc `.rtb` replay work, emitted as
+//! machine-checkable JSON (`BENCH_7.json` at the repo root).
+//!
+//! Three measurements, all MaxMargin + spatial grid on the Porto trace
+//! (best-of-N wall clock, tasks ÷ seconds):
+//!
+//! - **sequential `.rtb` input** — the gated metric: a pre-encoded
+//!   in-memory `.rtb` stream decoded zero-copy straight into
+//!   [`StreamEngine`], exactly the `rideshare replay --input` path,
+//!   through the instant MaxMargin policy with the grid on,
+//! - **sequential full pipeline** — lazy generation → incremental surge
+//!   pricing → dispatch, the PR 5 `rideshare replay` path (its committed
+//!   baseline: 272,808 tasks/s at 1M tasks),
+//! - **sharded `.rtb` input** — the same stream through
+//!   `replay_sharded` at 4 shards / 4 regions.
+//!
+//! Usage:
+//!   `cargo run --release --bin bench7 -- [--tasks N] [--drivers N]
+//!    [--seed N] [--best-of N] [--out PATH] [--check PATH]`
+//!
+//! `--out` writes the JSON report; `--check` additionally compares the
+//! measured sequential `.rtb` throughput against the value committed in
+//! an existing report and exits non-zero on a >10% regression — the CI
+//! bench-smoke gate.
+
+use std::time::Instant;
+
+use rideshare_core::{Driver, MarketBuildOptions, StreamPricer};
+use rideshare_geo::{BoundingBox, SpeedModel};
+use rideshare_metrics::StreamMetrics;
+use rideshare_online::{
+    event_to_wire, wire_to_event, BoxPartitioner, MaxMargin, ShardOptions, ShardPolicySpec,
+    StreamEngine, StreamEvent, StreamOptions, StreamPolicy,
+};
+use rideshare_trace::{rtb, DriverModel, TraceConfig};
+use rideshare_types::TimeDelta;
+
+/// PR 5's committed sequential full-pipeline throughput at 1M tasks
+/// (tasks/s) — the denominator for the headline speedup.
+const PR5_SEQUENTIAL_TASKS_PER_S: f64 = 272_808.0;
+
+/// Fraction of the committed throughput the measured value must reach
+/// for `--check` to pass (ISSUE 7: fail on >10% regression).
+const GATE_MIN_FRACTION: f64 = 0.9;
+
+struct Config {
+    tasks: usize,
+    drivers: usize,
+    seed: u64,
+    regions: usize,
+    shards: usize,
+    best_of: usize,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        tasks: 1_000_000,
+        drivers: 450,
+        seed: 0,
+        regions: 4,
+        shards: 4,
+        best_of: 3,
+        out: None,
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--tasks" => config.tasks = value("--tasks").parse().expect("--tasks: integer"),
+            "--drivers" => config.drivers = value("--drivers").parse().expect("--drivers: integer"),
+            "--seed" => config.seed = value("--seed").parse().expect("--seed: integer"),
+            "--best-of" => {
+                config.best_of = value("--best-of").parse().expect("--best-of: integer");
+                config.best_of = config.best_of.max(1);
+            }
+            "--out" => config.out = Some(value("--out")),
+            "--check" => config.check = Some(value("--check")),
+            other => panic!("unknown flag {other:?} (see //! docs for usage)"),
+        }
+    }
+    config
+}
+
+/// The generator→pricer pipeline shared by `export` and `replay`:
+/// every shift announced up front, then surge-priced trips in publish
+/// order.
+struct Pipeline {
+    speed: SpeedModel,
+    bbox: BoundingBox,
+    region_boxes: Vec<BoundingBox>,
+    events: Vec<StreamEvent>,
+}
+
+fn build_pipeline(config: &Config) -> Pipeline {
+    let trace = TraceConfig::porto()
+        .with_seed(config.seed)
+        .with_task_count(config.tasks)
+        .with_driver_count(config.drivers, DriverModel::Hitchhiking)
+        .with_regions(config.regions);
+    let region_boxes = trace.region_boxes();
+    let stream = trace.stream();
+    let speed = stream.speed();
+    let bbox = stream.bounding_box();
+    let build = MarketBuildOptions {
+        surge_window: Some(TimeDelta::from_mins(30)),
+        ..MarketBuildOptions::default()
+    };
+    let mut pricer = StreamPricer::new(&build, bbox, speed, stream.drivers());
+    let mut events: Vec<StreamEvent> = stream
+        .drivers()
+        .iter()
+        .map(|shift| StreamEvent::DriverOnline(Driver::from(shift)))
+        .collect();
+    for trip in stream {
+        events.push(StreamEvent::TaskPublished(pricer.price(&trip)));
+    }
+    Pipeline {
+        speed,
+        bbox,
+        region_boxes,
+        events,
+    }
+}
+
+fn encode_rtb(events: &[StreamEvent]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let wire: Vec<_> = events.iter().map(event_to_wire).collect();
+    rtb::write_events(&mut bytes, &wire).expect("in-memory encode cannot fail");
+    bytes
+}
+
+/// One `replay --input` pass: decode the `.rtb` stream zero-copy and
+/// push every event through the instant MaxMargin engine. Returns the
+/// served count (a cross-run sanity pin) and elapsed seconds.
+fn run_sequential_rtb(p: &Pipeline, bytes: &[u8]) -> (usize, f64) {
+    let mut slice = rtb::RtbSlice::new(bytes).expect("encoded stream must open");
+    let mut mm = MaxMargin::new();
+    let mut policy = StreamPolicy::Instant(&mut mm);
+    let mut metrics = StreamMetrics::hourly();
+    let mut engine = StreamEngine::new(p.speed, StreamOptions::default().grid(p.bbox));
+    let start = Instant::now();
+    while let Some(wire) = slice.next().expect("encoded stream must decode") {
+        match wire_to_event(wire) {
+            Some(event) => engine.push(event, &mut policy, &mut metrics),
+            None => break,
+        }
+    }
+    let summary = engine.finish(&mut policy, &mut metrics);
+    (summary.served, start.elapsed().as_secs_f64())
+}
+
+/// One PR 5-shaped pass: regenerate and reprice the trace inside the
+/// timed region, exactly what `rideshare replay` (no `--input`) does.
+fn run_full_pipeline(config: &Config) -> (usize, f64) {
+    let trace = TraceConfig::porto()
+        .with_seed(config.seed)
+        .with_task_count(config.tasks)
+        .with_driver_count(config.drivers, DriverModel::Hitchhiking)
+        .with_regions(config.regions);
+    let start = Instant::now();
+    let stream = trace.stream();
+    let speed = stream.speed();
+    let bbox = stream.bounding_box();
+    let build = MarketBuildOptions {
+        surge_window: Some(TimeDelta::from_mins(30)),
+        ..MarketBuildOptions::default()
+    };
+    let mut pricer = StreamPricer::new(&build, bbox, speed, stream.drivers());
+    let mut mm = MaxMargin::new();
+    let mut policy = StreamPolicy::Instant(&mut mm);
+    let mut metrics = StreamMetrics::hourly();
+    let mut engine = StreamEngine::new(speed, StreamOptions::default().grid(bbox));
+    for shift in stream.drivers() {
+        engine.push(
+            StreamEvent::DriverOnline(Driver::from(shift)),
+            &mut policy,
+            &mut metrics,
+        );
+    }
+    for trip in stream {
+        let task = pricer.price(&trip);
+        engine.push(StreamEvent::TaskPublished(task), &mut policy, &mut metrics);
+    }
+    let summary = engine.finish(&mut policy, &mut metrics);
+    (summary.served, start.elapsed().as_secs_f64())
+}
+
+/// One sharded pass over the `.rtb` stream at `config.shards` shards.
+fn run_sharded_rtb(p: &Pipeline, bytes: &[u8], config: &Config) -> (usize, f64) {
+    let partitioner = BoxPartitioner::new(p.region_boxes.clone());
+    let mut slice = rtb::RtbSlice::new(bytes).expect("encoded stream must open");
+    let events = std::iter::from_fn(move || {
+        slice
+            .next()
+            .expect("encoded stream must decode")
+            .and_then(wire_to_event)
+    });
+    let mut metrics = StreamMetrics::hourly();
+    let start = Instant::now();
+    let summary = rideshare_online::replay_sharded(
+        p.speed,
+        events,
+        ShardPolicySpec::MaxMargin,
+        &partitioner,
+        ShardOptions::new(config.shards)
+            .stream(StreamOptions::default().grid(p.bbox))
+            .validate(false),
+        &mut metrics,
+    );
+    (summary.served, start.elapsed().as_secs_f64())
+}
+
+/// Best-of-N wall clock: the minimum elapsed seconds across runs, with
+/// the served count pinned identical across every run.
+fn best_of<F: FnMut() -> (usize, f64)>(n: usize, mut run: F) -> (usize, f64) {
+    let (served, mut best) = run();
+    for _ in 1..n {
+        let (s, elapsed) = run();
+        assert_eq!(s, served, "served count drifted between repeat runs");
+        best = best.min(elapsed);
+    }
+    (served, best)
+}
+
+/// Extracts `"after"`'s gated metric from a committed `BENCH_7.json`.
+/// The report is our own hand-rolled format, so a string scan is exact.
+fn committed_gate_value(json: &str) -> Option<f64> {
+    let after = json.find("\"after\"")?;
+    let key = "\"sequential_rtb_input_tasks_per_s\":";
+    let at = after + json[after..].find(key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_report(
+    config: &Config,
+    served: usize,
+    rtb_tps: f64,
+    full_tps: f64,
+    sharded_tps: f64,
+) -> String {
+    let speedup = rtb_tps / PR5_SEQUENTIAL_TASKS_PER_S;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"issue\": 7,\n",
+            "  \"generated_by\": \"cargo run --release --bin bench7 -- --out BENCH_7.json\",\n",
+            "  \"config\": {{\n",
+            "    \"tasks\": {tasks},\n",
+            "    \"drivers\": {drivers},\n",
+            "    \"seed\": {seed},\n",
+            "    \"regions\": {regions},\n",
+            "    \"shards\": {shards},\n",
+            "    \"policy\": \"margin\",\n",
+            "    \"grid\": true,\n",
+            "    \"best_of\": {best_of}\n",
+            "  }},\n",
+            "  \"before\": {{\n",
+            "    \"sequential_full_pipeline_tasks_per_s\": {pr5},\n",
+            "    \"note\": \"PR 5 `rideshare replay` at 1M tasks; no .rtb input path existed\"\n",
+            "  }},\n",
+            "  \"after\": {{\n",
+            "    \"sequential_rtb_input_tasks_per_s\": {rtb:.0},\n",
+            "    \"sequential_full_pipeline_tasks_per_s\": {full:.0},\n",
+            "    \"sharded_rtb_input_tasks_per_s\": {sharded:.0},\n",
+            "    \"served\": {served},\n",
+            "    \"speedup_vs_before\": {speedup:.2}\n",
+            "  }},\n",
+            "  \"gate\": {{\n",
+            "    \"metric\": \"after.sequential_rtb_input_tasks_per_s\",\n",
+            "    \"min_fraction_of_committed\": {gate}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        tasks = config.tasks,
+        drivers = config.drivers,
+        seed = config.seed,
+        regions = config.regions,
+        shards = config.shards,
+        best_of = config.best_of,
+        pr5 = PR5_SEQUENTIAL_TASKS_PER_S,
+        rtb = rtb_tps,
+        full = full_tps,
+        sharded = sharded_tps,
+        served = served,
+        speedup = speedup,
+        gate = GATE_MIN_FRACTION,
+    )
+}
+
+fn main() {
+    let config = parse_args();
+    eprintln!(
+        "bench7: {} tasks, {} drivers, seed {}, {} regions, best-of-{}",
+        config.tasks, config.drivers, config.seed, config.regions, config.best_of
+    );
+
+    eprintln!("bench7: building event stream + .rtb encoding (untimed)...");
+    let p = build_pipeline(&config);
+    let bytes = encode_rtb(&p.events);
+    eprintln!(
+        "bench7: {} events, {} .rtb bytes",
+        p.events.len(),
+        bytes.len()
+    );
+
+    let (served, rtb_secs) = best_of(config.best_of, || run_sequential_rtb(&p, &bytes));
+    let rtb_tps = config.tasks as f64 / rtb_secs;
+    eprintln!("bench7: sequential .rtb     {rtb_tps:>12.0} tasks/s ({served} served)");
+
+    let (full_served, full_secs) = best_of(config.best_of, || run_full_pipeline(&config));
+    let full_tps = config.tasks as f64 / full_secs;
+    eprintln!("bench7: sequential pipeline {full_tps:>12.0} tasks/s ({full_served} served)");
+    assert_eq!(
+        full_served, served,
+        ".rtb-fed and generator-fed replays must serve identically"
+    );
+
+    let (sharded_served, sharded_secs) =
+        best_of(config.best_of, || run_sharded_rtb(&p, &bytes, &config));
+    let sharded_tps = config.tasks as f64 / sharded_secs;
+    eprintln!(
+        "bench7: sharded .rtb (x{})   {sharded_tps:>12.0} tasks/s ({sharded_served} served)",
+        config.shards
+    );
+
+    let report = render_report(&config, served, rtb_tps, full_tps, sharded_tps);
+    println!("{report}");
+    if let Some(path) = &config.out {
+        std::fs::write(path, &report).expect("writing --out report");
+        eprintln!("bench7: wrote {path}");
+    }
+
+    if let Some(path) = &config.check {
+        let committed = std::fs::read_to_string(path).expect("reading --check report");
+        let committed = committed_gate_value(&committed)
+            .expect("--check file has no after.sequential_rtb_input_tasks_per_s");
+        let floor = committed * GATE_MIN_FRACTION;
+        if rtb_tps < floor {
+            eprintln!(
+                "bench7: REGRESSION — sequential .rtb {rtb_tps:.0} tasks/s is below \
+                 {floor:.0} ({GATE_MIN_FRACTION} x committed {committed:.0})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench7: gate passed — {rtb_tps:.0} tasks/s >= {floor:.0} \
+             ({GATE_MIN_FRACTION} x committed {committed:.0})"
+        );
+    }
+}

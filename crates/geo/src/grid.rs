@@ -176,6 +176,23 @@ impl<T: Copy + PartialEq> GridIndex<T> {
         center: GeoPoint,
         radius_km: f64,
     ) -> impl Iterator<Item = &(GeoPoint, T)> + '_ {
+        self.cells_near(center, radius_km)
+            .flat_map(|(_, entries)| entries.iter())
+    }
+
+    /// The cells intersecting the `radius_km` box around `center`, as
+    /// `(slot, entries)` pairs, where `slot` is the cell's dense linear
+    /// index (`row * cols + col`, the same for the life of the grid).
+    ///
+    /// This is the cell-granular face of [`GridIndex::query_radius_coarse`]:
+    /// callers that keep per-cell side tables (e.g. an availability floor
+    /// per cell, letting a dispatcher skip a whole cell with one compare)
+    /// index them by `slot` and decide per cell whether to scan `entries`.
+    pub fn cells_near(
+        &self,
+        center: GeoPoint,
+        radius_km: f64,
+    ) -> impl Iterator<Item = (usize, &[(GeoPoint, T)])> + '_ {
         let cell_h_km = self.bbox.height_km() / f64::from(self.rows);
         let cell_w_km = self.bbox.width_km() / f64::from(self.cols);
         let row_span = if cell_h_km > 0.0 {
@@ -196,7 +213,34 @@ impl<T: Copy + PartialEq> GridIndex<T> {
 
         (row_lo..=row_hi)
             .flat_map(move |r| (col_lo..=col_hi).map(move |col| CellId::new(r, col)))
-            .flat_map(move |cell| self.cells[self.cell_index(cell)].iter())
+            .map(move |cell| {
+                let slot = self.cell_index(cell);
+                (slot, self.cells[slot].as_slice())
+            })
+    }
+
+    /// Total number of cell slots (`rows * cols`); the exclusive upper
+    /// bound of every `slot` yielded by [`GridIndex::cells_near`].
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// The dense slot of the cell containing `point` (out-of-box points
+    /// clamp to the border, as in [`GridIndex::cell_of`]).
+    #[must_use]
+    pub fn slot_of(&self, point: GeoPoint) -> usize {
+        self.cell_index(self.cell_of(point))
+    }
+
+    /// The entries currently stored in cell `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.slot_count()`.
+    #[must_use]
+    pub fn slot_entries(&self, slot: usize) -> &[(GeoPoint, T)] {
+        self.cells[slot].as_slice()
     }
 
     /// Iterates over all ids whose stored point lies within `radius_km`

@@ -47,16 +47,77 @@ const GRID_COLS: u16 = 16;
 const GHOST_BIT: u32 = 1 << 31;
 
 /// Per-driver projected state during a replay (shared by the per-task
-/// simulator, the batch engine, and the streaming engine).
-#[derive(Clone, Copy, Debug)]
-pub(crate) struct DriverState {
-    /// Where the driver will next be free.
-    pub(crate) location: GeoPoint,
+/// simulator, the batch engine, and the streaming engine), laid out as a
+/// struct of arrays. Candidate generation touches `locations` for every
+/// scanned driver but `available_at`/`tasks_taken` only for the survivors,
+/// so keeping the fields in parallel dense vectors makes the hot scan
+/// cache-linear (16-byte stride instead of a padded 32-byte record).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DriverStates {
+    /// Where each driver will next be free.
+    locations: Vec<GeoPoint>,
     /// When she is free there (actual projected finish, which may precede
     /// the running task's deadline — the paper's early-finish rule).
-    pub(crate) available_at: Timestamp,
+    available_at: Vec<Timestamp>,
     /// Tasks served so far (for Eq. 14's `m' = 0` case and diagnostics).
-    pub(crate) tasks_taken: u32,
+    tasks_taken: Vec<u32>,
+}
+
+impl DriverStates {
+    /// No drivers yet (the streaming starting point).
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked drivers.
+    pub(crate) fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Driver `d`'s projected location.
+    pub(crate) fn location(&self, d: usize) -> GeoPoint {
+        self.locations[d]
+    }
+
+    /// Every driver's projected location, dense by driver index.
+    pub(crate) fn locations(&self) -> &[GeoPoint] {
+        &self.locations
+    }
+
+    /// When driver `d` is next free.
+    #[cfg(test)]
+    pub(crate) fn available_at(&self, d: usize) -> Timestamp {
+        self.available_at[d]
+    }
+
+    /// Tasks driver `d` has served so far.
+    #[cfg(test)]
+    pub(crate) fn tasks_taken(&self, d: usize) -> u32 {
+        self.tasks_taken[d]
+    }
+
+    fn push(&mut self, location: GeoPoint, available_at: Timestamp) {
+        self.locations.push(location);
+        self.available_at.push(available_at);
+        self.tasks_taken.push(0);
+    }
+
+    /// Keeps exactly the drivers with `remap[d].is_some()`, in index order
+    /// (the compaction step; `remap` is produced by the engine).
+    fn retain_remapped(&mut self, remap: &[Option<usize>]) {
+        let mut w = 0usize;
+        for (d, r) in remap.iter().enumerate() {
+            if r.is_some() {
+                self.locations[w] = self.locations[d];
+                self.available_at[w] = self.available_at[d];
+                self.tasks_taken[w] = self.tasks_taken[d];
+                w += 1;
+            }
+        }
+        self.locations.truncate(w);
+        self.available_at.truncate(w);
+        self.tasks_taken.truncate(w);
+    }
 }
 
 /// The shared candidate generator: the travel model, an optional spatial
@@ -85,6 +146,32 @@ pub(crate) struct CandidateEngine {
     /// nothing else. Instant-mode compaction skips ghosts entirely:
     /// `latest_decision` is never consulted there.
     ghosts: Vec<GeoPoint>,
+    /// Per-grid-cell availability floor: `cell_floor[slot]` is the exact
+    /// minimum `available_at` over the live drivers stored in that cell
+    /// (`FLOOR_EMPTY` when the cell holds none — ghosts don't count). A
+    /// candidate scan skips a whole cell with one compare when even its
+    /// most-available driver cannot make the pickup deadline; that skip is
+    /// lossless because the per-driver availability pre-reject would
+    /// return `None` for every entry anyway. Maintained exactly on the
+    /// rare state-changing events (add, commit, expire, compact), which
+    /// each touch at most two cells. Empty when the grid is off.
+    cell_floor: Vec<Timestamp>,
+}
+
+/// Floor value of a cell with no live drivers: later than every reachable
+/// deadline, so such cells are skipped by the one-compare cell test.
+const FLOOR_EMPTY: Timestamp = Timestamp::from_secs(i64::MAX);
+
+/// The exact availability floor of cell `slot`: minimum `available_at`
+/// over its live entries (ghost entries carry no state and are ignored).
+fn floor_of(grid: &GridIndex<u32>, states: &DriverStates, slot: usize) -> Timestamp {
+    let mut floor = FLOOR_EMPTY;
+    for &(_, id) in grid.slot_entries(slot) {
+        if id & GHOST_BIT == 0 {
+            floor = floor.min(states.available_at[id as usize]);
+        }
+    }
+    floor
 }
 
 impl CandidateEngine {
@@ -92,9 +179,9 @@ impl CandidateEngine {
     /// materialised market (every driver at her source, free from her
     /// shift start). With `use_grid` the states are also indexed
     /// spatially.
-    pub(crate) fn for_market(market: &Market, use_grid: bool) -> (Self, Vec<DriverState>) {
+    pub(crate) fn for_market(market: &Market, use_grid: bool) -> (Self, DriverStates) {
         let mut engine = Self::streaming(market.speed(), use_grid.then(|| market_bbox(market)));
-        let mut states = Vec::with_capacity(market.num_drivers());
+        let mut states = DriverStates::new();
         for d in market.drivers() {
             engine.add_driver(&mut states, d);
         }
@@ -105,27 +192,31 @@ impl CandidateEngine {
     /// spatial indexing over `bbox` when given (callers typically pass the
     /// trace's service area; the box only affects speed, never results).
     pub(crate) fn streaming(speed: SpeedModel, bbox: Option<BoundingBox>) -> Self {
+        let grid = bbox.map(|b| GridIndex::new(b, GRID_ROWS, GRID_COLS));
+        let cell_floor = grid
+            .as_ref()
+            .map_or_else(Vec::new, |g| vec![FLOOR_EMPTY; g.slot_count()]);
         Self {
             speed,
-            grid: bbox.map(|b| GridIndex::new(b, GRID_ROWS, GRID_COLS)),
+            grid,
             expired: Vec::new(),
             ghosts: Vec::new(),
+            cell_floor,
         }
     }
 
     /// Registers one more driver (streaming `DriverOnline`): appends her
     /// initial state and indexes her spatially. Driver indices are
     /// positional — the `d`-th call corresponds to `drivers[d]`.
-    pub(crate) fn add_driver(&mut self, states: &mut Vec<DriverState>, driver: &Driver) {
-        let state = DriverState {
-            location: driver.source,
-            available_at: driver.shift_start,
-            tasks_taken: 0,
-        };
+    pub(crate) fn add_driver(&mut self, states: &mut DriverStates, driver: &Driver) {
         if let Some(g) = self.grid.as_mut() {
-            g.insert(state.location, states.len() as u32);
+            g.insert(driver.source, states.len() as u32);
+            // She starts available at her shift start; an insert can only
+            // lower the exact cell minimum, so one `min` keeps it exact.
+            let slot = g.slot_of(driver.source);
+            self.cell_floor[slot] = self.cell_floor[slot].min(driver.shift_start);
         }
-        states.push(state);
+        states.push(driver.source, driver.shift_start);
         self.expired.push(false);
     }
 
@@ -134,9 +225,22 @@ impl CandidateEngine {
     /// fail the return-home check anyway, so the flag is pure work-skipping
     /// and results stay byte-identical. Returns `true` if the flag was
     /// newly set (callers keep cumulative counts across compactions).
-    pub(crate) fn expire(&mut self, d: usize) -> bool {
+    ///
+    /// Expiry also pins the driver's `available_at` to the far future, so
+    /// the candidate scan's availability pre-reject retires her with the
+    /// same flat compare it uses for busy drivers — no separate flag load
+    /// on the hot path. (The flag itself remains the compaction
+    /// bookkeeping ground truth.)
+    pub(crate) fn expire(&mut self, states: &mut DriverStates, d: usize) -> bool {
         let newly = !self.expired[d];
         self.expired[d] = true;
+        states.available_at[d] = Timestamp::from_secs(i64::MAX);
+        if let Some(g) = self.grid.as_ref() {
+            // Her availability just rose, so her cell's minimum may have
+            // too — rescan its handful of entries to keep the floor exact.
+            let slot = g.slot_of(states.location(d));
+            self.cell_floor[slot] = floor_of(g, states, slot);
+        }
         newly
     }
 
@@ -167,56 +271,81 @@ impl CandidateEngine {
     /// consulted (instant-mode streaming).
     pub(crate) fn compact(
         &mut self,
-        states: &mut Vec<DriverState>,
+        states: &mut DriverStates,
         keep_ghosts: bool,
     ) -> Vec<Option<usize>> {
         let old_len = states.len();
         let mut remap: Vec<Option<usize>> = Vec::with_capacity(old_len);
-        let mut kept: Vec<DriverState> = Vec::with_capacity(old_len);
-        for (d, st) in states.iter().enumerate() {
+        let mut kept = 0usize;
+        for d in 0..old_len {
             if self.expired[d] {
                 if keep_ghosts {
-                    self.ghosts.push(st.location);
+                    self.ghosts.push(states.location(d));
                 }
                 remap.push(None);
             } else {
-                remap.push(Some(kept.len()));
-                kept.push(*st);
+                remap.push(Some(kept));
+                kept += 1;
             }
         }
-        *states = kept;
-        self.expired = vec![false; states.len()];
+        states.retain_remapped(&remap);
+        self.expired.clear();
+        self.expired.resize(states.len(), false);
         if let Some(old) = self.grid.as_ref() {
             let mut grid = GridIndex::new(old.bounding_box(), GRID_ROWS, GRID_COLS);
-            for (d, st) in states.iter().enumerate() {
-                grid.insert(st.location, d as u32);
+            for (d, &loc) in states.locations().iter().enumerate() {
+                grid.insert(loc, d as u32);
             }
             for (g, &loc) in self.ghosts.iter().enumerate() {
                 grid.insert(loc, GHOST_BIT | g as u32);
+            }
+            self.cell_floor.clear();
+            self.cell_floor.resize(grid.slot_count(), FLOOR_EMPTY);
+            for (d, &loc) in states.locations().iter().enumerate() {
+                let slot = grid.slot_of(loc);
+                self.cell_floor[slot] = self.cell_floor[slot].min(states.available_at[d]);
             }
             self.grid = Some(grid);
         }
         remap
     }
 
+    /// [`CandidateEngine::candidates_into`] with a fresh vector — the
+    /// convenient form for tests; every replay hot path passes a reusable
+    /// arena instead.
+    #[cfg(test)]
+    pub(crate) fn candidates_at(
+        &self,
+        drivers: &[Driver],
+        states: &DriverStates,
+        task: &Task,
+        decision_time: Timestamp,
+    ) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        self.candidates_into(drivers, states, task, decision_time, &mut out);
+        out
+    }
+
     /// Every driver who can feasibly serve `task` when the dispatch
     /// decision is made at `decision_time`: she can reach the pickup from
     /// her projected position by the deadline (departing no earlier than
     /// the decision), can still get home afterwards, and is inside her
-    /// shift. Candidates are returned sorted by driver index, each carrying
-    /// the Eq. 14 marginal value.
-    pub(crate) fn candidates_at(
+    /// shift. `out` is cleared and refilled sorted by driver index, each
+    /// candidate carrying the Eq. 14 marginal value — callers keep one
+    /// scratch vector per replay so the per-decision allocation disappears.
+    pub(crate) fn candidates_into(
         &self,
         drivers: &[Driver],
-        states: &[DriverState],
+        states: &DriverStates,
         task: &Task,
         decision_time: Timestamp,
-    ) -> Vec<Candidate> {
+        out: &mut Vec<Candidate>,
+    ) {
+        out.clear();
         if !task.window_feasible() || decision_time > task.pickup_deadline {
-            return Vec::new();
+            return;
         }
 
-        let mut out = Vec::new();
         match &self.grid {
             Some(g) => {
                 // Any driver farther than the loosest possible travel
@@ -232,11 +361,21 @@ impl CandidateEngine {
                 let budget =
                     task.pickup_deadline - decision_time + rideshare_types::TimeDelta::from_secs(1);
                 let radius = self.speed.reachable_km(budget);
-                for d in g.query_radius_coarse(task.origin, radius) {
-                    if d & GHOST_BIT != 0 {
-                        continue; // ghosts never generate candidates
+                for (slot, entries) in g.cells_near(task.origin, radius) {
+                    // One compare retires the whole cell when even its
+                    // most-available driver misses the pickup deadline —
+                    // every entry would fail the same availability
+                    // pre-reject inside `evaluate`, so the skip is
+                    // lossless. Under saturation most cells die here.
+                    if self.cell_floor[slot] > task.pickup_deadline {
+                        continue;
                     }
-                    out.extend(self.evaluate(drivers, states, task, decision_time, d as usize));
+                    for &(_, d) in entries {
+                        if d & GHOST_BIT != 0 {
+                            continue; // ghosts never generate candidates
+                        }
+                        out.extend(self.evaluate(drivers, states, task, decision_time, d as usize));
+                    }
                 }
             }
             None => {
@@ -246,7 +385,6 @@ impl CandidateEngine {
             }
         }
         out.sort_by_key(|c| c.driver);
-        out
     }
 
     /// Evaluates one *(driver, task)* pair under a decision made at
@@ -257,7 +395,7 @@ impl CandidateEngine {
     pub(crate) fn candidate_for(
         &self,
         drivers: &[Driver],
-        states: &[DriverState],
+        states: &DriverStates,
         task: &Task,
         decision_time: Timestamp,
         d: usize,
@@ -273,40 +411,50 @@ impl CandidateEngine {
     fn evaluate(
         &self,
         drivers: &[Driver],
-        states: &[DriverState],
+        states: &DriverStates,
         task: &Task,
         decision_time: Timestamp,
         d: usize,
     ) -> Option<Candidate> {
-        if self.expired[d] {
+        // Availability pre-reject: `available_at` starts at the shift
+        // start and only ever grows (expiry pins it to the far future), and
+        // `depart >= available_at`, so a driver unavailable past the pickup
+        // deadline can never arrive in time — settled by one flat-array
+        // compare, no distance needed. Under saturation this retires the
+        // vast majority of pairs before any trigonometry, and it subsumes
+        // the expired-driver skip.
+        if states.available_at[d] > task.pickup_deadline {
             return None;
         }
         let speed = self.speed;
         let driver = &drivers[d];
-        let st = &states[d];
+        let location = states.location(d);
         // Departure: not before the order exists, the dispatch decision
         // is made, the driver is free, and her shift has started.
-        let depart = st
-            .available_at
+        let depart = states.available_at[d]
             .max(task.publish_time)
             .max(decision_time)
             .max(driver.shift_start);
-        let to_pickup = speed.travel_time(st.location, task.origin);
-        let arrival = depart + to_pickup;
+        // Each pair needs three distances (driver→pickup, dropoff→home,
+        // driver→home); compute each once and derive time and cost from it
+        // (`travel_time`/`travel_cost` are exactly these compositions, so
+        // results stay bit-identical).
+        let to_pickup_km = speed.driven_km(location, task.origin);
+        let arrival = depart + speed.travel_time_for_km(to_pickup_km);
         if arrival > task.pickup_deadline {
             return None;
         }
         // Return-home feasibility against the task's completion deadline
         // (conservative: the driver may finish earlier, but she must be
         // able to honour the promised window).
-        let back = speed.travel_time(task.destination, driver.destination);
-        if task.completion_deadline + back > driver.shift_end {
+        let return_km = speed.driven_km(task.destination, driver.destination);
+        if task.completion_deadline + speed.travel_time_for_km(return_km) > driver.shift_end {
             return None;
         }
         // Eq. 14: δₙ,ₘ = pₘ − (cₙ,ₘ,₋₁ + ĉₙ,ₘ + cₙ,ₘ',ₘ − cₙ,ₘ',₋₁).
-        let to_pickup_cost = speed.travel_cost(st.location, task.origin);
-        let new_return = speed.travel_cost(task.destination, driver.destination);
-        let old_return = speed.travel_cost(st.location, driver.destination);
+        let to_pickup_cost = speed.cost_for_km(to_pickup_km);
+        let new_return = speed.cost_for_km(return_km);
+        let old_return = speed.travel_cost(location, driver.destination);
         let delta = task.price - new_return - task.service_cost - to_pickup_cost + old_return;
         Some(Candidate {
             driver: d,
@@ -329,7 +477,7 @@ impl CandidateEngine {
     /// count through their frozen ghost locations.
     pub(crate) fn latest_decision(
         &self,
-        states: &[DriverState],
+        states: &DriverStates,
         task: &Task,
         cap: Timestamp,
     ) -> Timestamp {
@@ -354,13 +502,13 @@ impl CandidateEngine {
                     if d & GHOST_BIT != 0 {
                         consider(self.ghosts[(d & !GHOST_BIT) as usize]);
                     } else {
-                        consider(states[d as usize].location);
+                        consider(states.location(d as usize));
                     }
                 }
             }
             None => {
-                for st in states {
-                    consider(st.location);
+                for &loc in states.locations() {
+                    consider(loc);
                 }
                 for &loc in &self.ghosts {
                     consider(loc);
@@ -374,19 +522,27 @@ impl CandidateEngine {
     /// free at `arrival + duration`, and keeps the spatial index in sync.
     pub(crate) fn commit(
         &mut self,
-        states: &mut [DriverState],
+        states: &mut DriverStates,
         d: usize,
         task: &Task,
         arrival: Timestamp,
     ) {
-        let old_loc = states[d].location;
-        states[d] = DriverState {
-            location: task.destination,
-            available_at: arrival + task.duration,
-            tasks_taken: states[d].tasks_taken + 1,
-        };
+        let old_loc = states.locations[d];
+        states.locations[d] = task.destination;
+        states.available_at[d] = arrival + task.duration;
+        states.tasks_taken[d] += 1;
         if let Some(g) = self.grid.as_mut() {
             g.relocate(old_loc, task.destination, d as u32);
+        }
+        if let Some(g) = self.grid.as_ref() {
+            // The move changes at most two cells; rescanning both keeps
+            // the floors exact (commits are rare next to candidate scans).
+            let from = g.slot_of(old_loc);
+            let to = g.slot_of(task.destination);
+            self.cell_floor[from] = floor_of(g, states, from);
+            if to != from {
+                self.cell_floor[to] = floor_of(g, states, to);
+            }
         }
     }
 }
@@ -494,8 +650,9 @@ mod tests {
         let cands = engine.candidates_at(m.drivers(), &states, task, publish);
         if let Some(c) = cands.first() {
             engine.commit(&mut states, c.driver, task, c.arrival);
-            assert_eq!(states[c.driver].location, task.destination);
-            assert_eq!(states[c.driver].tasks_taken, 1);
+            assert_eq!(states.location(c.driver), task.destination);
+            assert_eq!(states.tasks_taken(c.driver), 1);
+            assert_eq!(states.available_at(c.driver), c.arrival + task.duration);
             // The index tracked the move: a fresh linear engine over the
             // mutated states agrees with the grid one.
             let (linear, _) = CandidateEngine::for_market(&m, false);
@@ -517,7 +674,7 @@ mod tests {
         let m = market(75, 40, 12);
         let (batch, batch_states) = CandidateEngine::for_market(&m, true);
         let mut inc = CandidateEngine::streaming(m.speed(), Some(market_bbox(&m)));
-        let mut inc_states = Vec::new();
+        let mut inc_states = DriverStates::new();
         for d in m.drivers() {
             inc.add_driver(&mut inc_states, d);
         }
@@ -577,7 +734,7 @@ mod tests {
         for use_grid in [false, true] {
             let bbox = use_grid.then(|| BoundingBox::new(41.0, 41.3, -8.8, -8.3));
             let mut reference = CandidateEngine::streaming(speed, bbox);
-            let mut states = Vec::new();
+            let mut states = DriverStates::new();
             reference.add_driver(&mut states, &near_expired);
             reference.add_driver(&mut states, &far_live);
             let baseline = reference.latest_decision(&states, &task, cap);
@@ -590,8 +747,11 @@ mod tests {
             let compacted = |keep_ghosts: bool| {
                 let mut engine = reference.clone();
                 let mut st = states.clone();
-                assert!(engine.expire(0));
-                assert!(!engine.expire(0), "second expiry must not re-count");
+                assert!(engine.expire(&mut st, 0));
+                assert!(
+                    !engine.expire(&mut st, 0),
+                    "second expiry must not re-count"
+                );
                 let remap = engine.compact(&mut st, keep_ghosts);
                 assert_eq!(remap, vec![None, Some(0)]);
                 assert_eq!(engine.expired_count(), 0);
@@ -632,12 +792,12 @@ mod tests {
         // `latest_decision` (which ignores feasibility) is untouched too.
         let m = market(76, 50, 20);
         let (plain, states) = CandidateEngine::for_market(&m, false);
-        let (mut expired, _) = CandidateEngine::for_market(&m, false);
+        let (mut expired, mut ex_states) = CandidateEngine::for_market(&m, false);
         let cutoff = rideshare_types::Timestamp::from_hours(14);
         let mut expired_any = false;
         for (d, drv) in m.drivers().iter().enumerate() {
             if drv.shift_end < cutoff {
-                expired.expire(d);
+                expired.expire(&mut ex_states, d);
                 expired_any = true;
             }
         }
@@ -651,12 +811,12 @@ mod tests {
             let at = task.publish_time;
             assert_eq!(
                 plain.candidates_at(m.drivers(), &states, task, at),
-                expired.candidates_at(m.drivers(), &states, task, at),
+                expired.candidates_at(m.drivers(), &ex_states, task, at),
                 "task {t}"
             );
             assert_eq!(
                 plain.latest_decision(&states, task, at),
-                expired.latest_decision(&states, task, at),
+                expired.latest_decision(&ex_states, task, at),
             );
         }
     }

@@ -641,4 +641,73 @@ mod tests {
         // Equal timestamps are legal (same-instant arrivals).
         g.admit(&task(1, 100)).unwrap();
     }
+    /// The follow-mode tail shares one `POLL` sleep between growth checks
+    /// and shutdown checks, and the flag is tested *before* every sleep —
+    /// so flipping it while the source idles at EOF must be honored within
+    /// roughly one poll interval, never a multi-interval drain. Timed
+    /// regression pin for that promptness (generous bound: single-core CI
+    /// boxes schedule the waking thread late, but a multi-interval lag or
+    /// an unbounded drain would blow far past it).
+    #[test]
+    fn follow_mode_shutdown_is_prompt_on_idle_tail() {
+        use std::sync::atomic::AtomicBool;
+        use std::time::Instant;
+
+        let path = std::env::temp_dir().join(format!(
+            "rideshare-ingest-shutdown-{}.jsonl",
+            std::process::id()
+        ));
+        // One complete line, no EOS marker: the tail reaches EOF and idles.
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "{}", event_to_line(&driver(0), IngestFormat::Jsonl)).unwrap();
+        drop(f);
+
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut source = FileSource::open(&path, IngestFormat::Jsonl)
+            .unwrap()
+            .follow(true)
+            .with_shutdown(Arc::clone(&flag));
+        assert!(matches!(
+            source.next_event(),
+            Ok(Some(StreamEvent::DriverOnline(_)))
+        ));
+
+        // Flip the flag from another thread while `next_event` is parked
+        // in its poll loop at EOF.
+        let flipper = {
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                flag.store(true, Ordering::Relaxed);
+            })
+        };
+        let start = Instant::now();
+        let next = source.next_event();
+        let elapsed = start.elapsed();
+        flipper.join().unwrap();
+        assert!(matches!(next, Ok(None)), "shutdown must end the stream");
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "idle-tail shutdown took {elapsed:?}; expected ~flag-flip (30ms) + one poll"
+        );
+
+        // Already-flipped flag: the very next call returns immediately,
+        // without even one poll sleep.
+        let mut source = FileSource::open(&path, IngestFormat::Jsonl)
+            .unwrap()
+            .follow(true)
+            .with_shutdown(Arc::clone(&flag));
+        assert!(matches!(
+            source.next_event(),
+            Ok(Some(StreamEvent::DriverOnline(_)))
+        ));
+        let start = Instant::now();
+        assert!(matches!(source.next_event(), Ok(None)));
+        assert!(
+            start.elapsed() < Duration::from_millis(200),
+            "pre-set shutdown flag must not wait out extra poll intervals"
+        );
+
+        let _ = std::fs::remove_file(&path);
+    }
 }

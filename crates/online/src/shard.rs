@@ -528,6 +528,10 @@ struct Merger<'s> {
     /// boundary announcements exactly (same ends, same count, same
     /// position between decision batches).
     boundaries: VecDeque<Timestamp>,
+    /// Reusable merge arena: one window's decisions, re-sorted into the
+    /// canonical order. Drained on every emit, so only its capacity
+    /// persists between windows.
+    window: Vec<(usize, Task, Decision)>,
     sink: &'s mut dyn StreamSink,
 }
 
@@ -537,6 +541,7 @@ impl<'s> Merger<'s> {
             queues: (0..shards).map(|_| VecDeque::new()).collect(),
             maps: vec![Vec::new(); shards],
             boundaries: VecDeque::new(),
+            window: Vec::new(),
             sink,
         }
     }
@@ -563,21 +568,21 @@ impl<'s> Merger<'s> {
 
     fn emit_ready(&mut self) {
         while self.queues.iter().all(|q| !q.is_empty()) {
-            let mut window: Vec<(usize, Task, Decision)> = Vec::new();
+            debug_assert!(self.window.is_empty());
             for (s, q) in self.queues.iter_mut().enumerate() {
                 for (task, decision) in q.pop_front().expect("checked non-empty") {
-                    window.push((s, task, decision));
+                    self.window.push((s, task, decision));
                 }
             }
             // The canonical merge order: decision epoch, then task id.
-            window.sort_by_key(|(_, task, decision)| {
+            self.window.sort_by_key(|(_, task, decision)| {
                 let at = match decision {
                     Decision::Dispatched(e) => e.decision_time,
                     Decision::Rejected(at) => *at,
                 };
                 (at, task.id.index())
             });
-            for (s, task, decision) in window {
+            for (s, task, decision) in self.window.drain(..) {
                 match decision {
                     Decision::Dispatched(mut event) => {
                         event.driver = self.maps[s][event.driver.index()];

@@ -5,8 +5,8 @@ use rideshare_core::{Assignment, Driver, Market, Objective, Task};
 use rideshare_geo::SpeedModel;
 use rideshare_types::{DriverId, Money, TaskId, Timestamp};
 
-use crate::candidates::{CandidateEngine, DriverState};
-use crate::policy::DispatchPolicy;
+use crate::candidates::{CandidateEngine, DriverStates};
+use crate::policy::{Candidate, DispatchPolicy};
 
 /// Options controlling a simulation run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -174,6 +174,7 @@ impl<'m> Simulator<'m> {
         let mut events: Vec<DispatchEvent> = Vec::new();
         let mut served = 0usize;
         let mut rejected = 0usize;
+        let mut scratch: Vec<Candidate> = Vec::new();
 
         for &ti in &order {
             let task = &market.tasks()[ti];
@@ -187,6 +188,7 @@ impl<'m> Simulator<'m> {
                 task,
                 task.publish_time,
                 policy,
+                &mut scratch,
             ) {
                 None => rejected += 1,
                 Some(mut event) => {
@@ -214,27 +216,30 @@ impl<'m> Simulator<'m> {
 
 /// One instant-dispatch decision, shared by [`Simulator::run`] and the
 /// streaming engine's instant mode: generate the candidate set for `task`
-/// at `decision_time`, let `policy` choose, commit the winner, and return
-/// the resulting event (`None` = rejected). `record_id` is the task id the
-/// event reports — the market index for the materialized simulator, the
-/// task's own id for streams.
+/// at `decision_time` into the caller's reusable `scratch` arena, let
+/// `policy` choose, commit the winner, and return the resulting event
+/// (`None` = rejected). `record_id` is the task id the event reports — the
+/// market index for the materialized simulator, the task's own id for
+/// streams.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn dispatch_instant(
     engine: &mut CandidateEngine,
     drivers: &[Driver],
-    states: &mut [DriverState],
+    states: &mut DriverStates,
     speed: SpeedModel,
     task: &Task,
     decision_time: Timestamp,
     policy: &mut dyn DispatchPolicy,
+    scratch: &mut Vec<Candidate>,
 ) -> Option<DispatchEvent> {
-    let candidates = engine.candidates_at(drivers, states, task, decision_time);
-    if candidates.is_empty() {
+    engine.candidates_into(drivers, states, task, decision_time, scratch);
+    if scratch.is_empty() {
         return None;
     }
-    let k = policy.choose(&candidates)?;
-    let cand = candidates[k];
+    let k = policy.choose(scratch)?;
+    let cand = scratch[k];
     let d = cand.driver;
-    let old_loc = states[d].location;
+    let old_loc = states.location(d);
     engine.commit(states, d, task, cand.arrival);
     Some(DispatchEvent {
         task: task.id,
@@ -243,7 +248,7 @@ pub(crate) fn dispatch_instant(
         decision_time,
         wait: cand.arrival - task.publish_time,
         deadhead_km: speed.driven_km(old_loc, task.origin),
-        candidates: candidates.len(),
+        candidates: scratch.len(),
         margin: cand.marginal_value,
     })
 }

@@ -88,9 +88,9 @@ use rideshare_core::{Assignment, Driver, DriverRoute, Market, Task};
 use rideshare_geo::{BoundingBox, SpeedModel};
 use rideshare_types::{DriverId, TaskId, TimeDelta, Timestamp};
 
-use crate::batch::{process_window, BatchMatcher};
-use crate::candidates::{CandidateEngine, DriverState};
-use crate::policy::DispatchPolicy;
+use crate::batch::{process_window, BatchMatcher, WindowScratch};
+use crate::candidates::{CandidateEngine, DriverStates};
+use crate::policy::{Candidate, DispatchPolicy};
 use crate::simulator::{dispatch_instant, DispatchEvent, SimulationResult};
 
 /// One event of an ordered market stream.
@@ -166,6 +166,12 @@ pub struct StreamOptions {
     /// drivers are freed losslessly (batched mode keeps a frozen location
     /// "ghost" per driver for `latest_decision` parity — the subtle case
     /// `candidates.rs` documents). `usize::MAX` disables compaction.
+    ///
+    /// `0` is equivalent to `1` ("compact as soon as any driver expires"):
+    /// compaction can fire no more eagerly than that, so the engine clamps
+    /// the threshold to at least one. [`StreamOptions::compaction`] applies
+    /// the same clamp up front, keeping the stored option equal to what
+    /// the engine will actually use.
     pub compact_threshold: usize,
 }
 
@@ -187,9 +193,16 @@ impl StreamOptions {
     }
 
     /// Sets the expired-driver compaction threshold.
+    ///
+    /// `0` is clamped to `1`: "compact whenever at least zero drivers are
+    /// expired" would fire at every flush — even with nothing to free —
+    /// which is never what a caller means. The clamped value is stored, so
+    /// the option always reads back as the threshold the engine runs with
+    /// (use [`StreamOptions::no_compaction`] to disable compaction; that
+    /// sentinel is `usize::MAX`, not `0`).
     #[must_use]
     pub fn compaction(mut self, threshold: usize) -> Self {
-        self.compact_threshold = threshold;
+        self.compact_threshold = threshold.max(1);
         self
     }
 
@@ -272,7 +285,7 @@ pub struct StreamEngine {
     /// expired drivers are garbage-collected, while the ids the sink sees
     /// stay the announced ones (`ids` maps slot → announced id).
     drivers: Vec<Driver>,
-    states: Vec<DriverState>,
+    states: DriverStates,
     /// Announced id of each live slot (sink-facing identity).
     ids: Vec<DriverId>,
     /// Live slot of each announced driver; `None` once compacted.
@@ -286,6 +299,14 @@ pub struct StreamEngine {
     /// Cumulative drivers garbage-collected.
     compacted: usize,
     pending: Vec<Task>,
+    /// Swap buffer for [`StreamEngine::flush`]: the group being decided
+    /// trades places with `pending`, so both vectors keep their capacity
+    /// across the replay instead of reallocating per publish group.
+    deciding: Vec<Task>,
+    /// Reusable candidate arena for instant-mode dispatch.
+    cand_scratch: Vec<Candidate>,
+    /// Reusable per-window working memory for batched-mode dispatch.
+    win_scratch: WindowScratch,
     hold: Hold,
     /// Latest instant through which decisions are final; new tasks must
     /// publish strictly later.
@@ -308,14 +329,20 @@ impl StreamEngine {
             speed,
             engine: CandidateEngine::streaming(speed, options.grid_bbox),
             drivers: Vec::new(),
-            states: Vec::new(),
+            states: DriverStates::new(),
             ids: Vec::new(),
             slots: Vec::new(),
             expiry: BinaryHeap::new(),
+            // Same clamp as `StreamOptions::compaction` — the field is
+            // public, so a hand-built `0` still means "eagerest", not
+            // "every flush".
             compact_threshold: options.compact_threshold.max(1),
             expired_total: 0,
             compacted: 0,
             pending: Vec::new(),
+            deciding: Vec::new(),
+            cand_scratch: Vec::new(),
+            win_scratch: WindowScratch::default(),
             hold: Hold::Empty,
             decided_through: None,
             clock: None,
@@ -438,7 +465,9 @@ impl StreamEngine {
                 // (held orders publish no later than the clock, so the
                 // earliest held publish is the binding floor).
                 let floor = self.pending.first().map(|t| t.publish_time).or(self.clock);
-                if floor.is_some_and(|f| self.drivers[d].shift_end < f) && self.engine.expire(d) {
+                if floor.is_some_and(|f| self.drivers[d].shift_end < f)
+                    && self.engine.expire(&mut self.states, d)
+                {
                     self.expired_total += 1;
                 }
             }
@@ -527,7 +556,7 @@ impl StreamEngine {
         };
         while let Some(&Reverse((end, d))) = self.expiry.peek() {
             if Timestamp::from_secs(end) < floor {
-                if self.engine.expire(d) {
+                if self.engine.expire(&mut self.states, d) {
                     self.expired_total += 1;
                 }
                 self.expiry.pop();
@@ -556,8 +585,8 @@ impl StreamEngine {
     /// compacted ghosts report the sentinel `DriverId(u32::MAX)`.
     pub(crate) fn interaction_with(&self, task: &Task) -> Option<DriverId> {
         let budget = task.pickup_deadline - task.publish_time + TimeDelta::from_secs(1);
-        for (slot, st) in self.states.iter().enumerate() {
-            if self.speed.travel_time(st.location, task.origin) <= budget {
+        for (slot, &loc) in self.states.locations().iter().enumerate() {
+            if self.speed.travel_time(loc, task.origin) <= budget {
                 return Some(self.ids[slot]);
             }
         }
@@ -613,7 +642,7 @@ impl StreamEngine {
         let window_start = self.pending[0].publish_time;
         while let Some(&Reverse((end, d))) = self.expiry.peek() {
             if Timestamp::from_secs(end) < window_start {
-                if self.engine.expire(d) {
+                if self.engine.expire(&mut self.states, d) {
                     self.expired_total += 1;
                 }
                 self.expiry.pop();
@@ -622,14 +651,15 @@ impl StreamEngine {
             }
         }
 
-        let pending = std::mem::take(&mut self.pending);
+        // Trade the held group into the decide buffer — both vectors keep
+        // their capacity across the whole replay.
+        std::mem::swap(&mut self.pending, &mut self.deciding);
         match (hold, &mut *policy) {
             (Hold::Instant(at), StreamPolicy::Instant(choose)) => {
                 // Same-timestamp orders decide in task-id order, making
                 // intra-timestamp delivery order irrelevant.
-                let mut group = pending;
-                group.sort_by_key(|t| t.id.index());
-                for task in &group {
+                self.deciding.sort_by_key(|t| t.id.index());
+                for task in &self.deciding {
                     match dispatch_instant(
                         &mut self.engine,
                         &self.drivers,
@@ -638,6 +668,7 @@ impl StreamEngine {
                         task,
                         task.publish_time,
                         &mut **choose,
+                        &mut self.cand_scratch,
                     ) {
                         Some(mut event) => {
                             // Events name drivers by their *announced* id;
@@ -663,9 +694,10 @@ impl StreamEngine {
                     &self.drivers,
                     &mut self.states,
                     self.speed,
-                    &pending,
+                    &self.deciding,
                     end,
                     &mut **matcher,
+                    &mut self.win_scratch,
                     &mut |task, at, decision| match decision {
                         Some(mut event) => {
                             event.driver = ids[event.driver.index()];
@@ -684,6 +716,7 @@ impl StreamEngine {
             }
             (held, _) => panic!("policy kind changed mid-stream while holding {held:?}"),
         }
+        self.deciding.clear();
         // Decisions are now final through `decided_through` (both arms
         // just set it) — announce the boundary before any compaction, so
         // sinks observe state transitions in stream order.
@@ -1134,5 +1167,47 @@ mod tests {
             StreamOptions::default(),
             &mut sink,
         );
+    }
+
+    #[test]
+    fn compaction_zero_clamps_to_one() {
+        // The builder stores the clamped value, so the option reads back
+        // as what the engine runs with; `0` never means "every flush".
+        assert_eq!(StreamOptions::default().compaction(0).compact_threshold, 1);
+        assert_eq!(StreamOptions::default().compaction(1).compact_threshold, 1);
+        assert_eq!(StreamOptions::default().compaction(9).compact_threshold, 9);
+        assert_eq!(
+            StreamOptions::default().no_compaction().compact_threshold,
+            usize::MAX,
+            "disabling is the MAX sentinel, not 0"
+        );
+
+        // A hand-built 0 (the field is public) behaves exactly like 1 —
+        // same decisions, same compaction count — because the engine
+        // applies the same clamp defensively.
+        let m = market(83, 200, 25);
+        let run = |threshold: usize| {
+            let mut sink = CollectingSink::new();
+            let options = StreamOptions {
+                grid_bbox: None,
+                compact_threshold: threshold,
+            };
+            let summary = replay_stream(
+                m.speed(),
+                market_events(&m),
+                &mut StreamPolicy::Instant(&mut MaxMargin::new()),
+                options,
+                &mut sink,
+            );
+            (summary, sink.into_result())
+        };
+        let (zero_summary, zero) = run(0);
+        let (one_summary, one) = run(1);
+        assert_same(&zero, &one);
+        assert_eq!(
+            zero_summary.compacted_drivers,
+            one_summary.compacted_drivers
+        );
+        assert_eq!(zero_summary.expired_drivers, one_summary.expired_drivers);
     }
 }

@@ -45,6 +45,7 @@ mod csv;
 mod driver;
 mod generator;
 mod multi_day;
+pub mod rtb;
 mod sampler;
 pub mod stats;
 mod stream;

@@ -258,22 +258,44 @@ impl<'a> Take<'a> {
     }
 }
 
-/// Encodes one event as a length-prefixed binary frame.
+/// Exact body length in bytes (tag byte included) of a frame tag's fixed
+/// layout, or `None` for an unknown tag.
 ///
-/// Layout: `u32` little-endian body length, then the body — one tag byte
-/// followed by the tag's fixed-width little-endian payload (floats as
-/// IEEE-754 bits). The encoding is bit-exact and self-delimiting.
+/// Every tag's payload is fixed-width, which is what makes the frame
+/// bodies reusable as the records of the [`crate::rtb`] binary trace
+/// format: a reader that knows the tag knows the record boundary without
+/// a length prefix.
 #[must_use]
-pub fn encode_frame(event: &WireEvent) -> Vec<u8> {
-    let mut body = Vec::with_capacity(96);
+pub const fn body_len(tag: u8) -> Option<usize> {
+    match tag {
+        // tag + id + 2 points + 2 timestamps + model byte
+        TAG_DRIVER => Some(1 + 4 + 32 + 16 + 1),
+        // tag + id + publish + 2 points + 3 timestamps + 3 money f64s
+        TAG_TASK => Some(1 + 4 + 8 + 32 + 24 + 24),
+        TAG_OFFLINE => Some(1 + 4),
+        TAG_TICK => Some(1 + 8),
+        TAG_EOS => Some(1),
+        _ => None,
+    }
+}
+
+/// Appends one event's frame *body* (tag byte + fixed-width payload, no
+/// length prefix) to `out`.
+///
+/// This is the shared encoder behind both [`encode_frame`] (which adds
+/// the `u32` length prefix for the socket format) and the [`crate::rtb`]
+/// record writer (which relies on the fixed widths instead). The number
+/// of bytes appended always equals [`body_len`] for the event's tag.
+pub fn encode_frame_body(event: &WireEvent, out: &mut Vec<u8>) {
+    let body = out;
     match event {
         WireEvent::DriverOnline(d) => {
             body.push(TAG_DRIVER);
-            put_u32(&mut body, d.id);
-            put_point(&mut body, d.source);
-            put_point(&mut body, d.destination);
-            put_i64(&mut body, d.shift_start.as_secs());
-            put_i64(&mut body, d.shift_end.as_secs());
+            put_u32(body, d.id);
+            put_point(body, d.source);
+            put_point(body, d.destination);
+            put_i64(body, d.shift_start.as_secs());
+            put_i64(body, d.shift_end.as_secs());
             body.push(match d.model {
                 DriverModel::HomeWorkHome => 0,
                 DriverModel::Hitchhiking => 1,
@@ -281,33 +303,41 @@ pub fn encode_frame(event: &WireEvent) -> Vec<u8> {
         }
         WireEvent::TaskPublished(t) => {
             body.push(TAG_TASK);
-            put_u32(&mut body, t.id);
-            put_i64(&mut body, t.publish_time.as_secs());
-            put_point(&mut body, t.origin);
-            put_point(&mut body, t.destination);
-            put_i64(&mut body, t.pickup_deadline.as_secs());
-            put_i64(&mut body, t.completion_deadline.as_secs());
-            put_i64(&mut body, t.duration.as_secs());
-            put_f64(&mut body, t.price);
-            put_f64(&mut body, t.valuation);
-            put_f64(&mut body, t.service_cost);
+            put_u32(body, t.id);
+            put_i64(body, t.publish_time.as_secs());
+            put_point(body, t.origin);
+            put_point(body, t.destination);
+            put_i64(body, t.pickup_deadline.as_secs());
+            put_i64(body, t.completion_deadline.as_secs());
+            put_i64(body, t.duration.as_secs());
+            put_f64(body, t.price);
+            put_f64(body, t.valuation);
+            put_f64(body, t.service_cost);
         }
         WireEvent::DriverOffline(id) => {
             body.push(TAG_OFFLINE);
-            put_u32(&mut body, *id);
+            put_u32(body, *id);
         }
         WireEvent::EpochTick(at) => {
             body.push(TAG_TICK);
-            put_i64(&mut body, *at);
+            put_i64(body, *at);
         }
         WireEvent::Eos => body.push(TAG_EOS),
     }
-    let mut frame = Vec::with_capacity(4 + body.len());
-    put_u32(
-        &mut frame,
-        u32::try_from(body.len()).expect("frame body fits u32"),
-    );
-    frame.extend_from_slice(&body);
+}
+
+/// Encodes one event as a length-prefixed binary frame.
+///
+/// Layout: `u32` little-endian body length, then the body — one tag byte
+/// followed by the tag's fixed-width little-endian payload (floats as
+/// IEEE-754 bits). The encoding is bit-exact and self-delimiting.
+#[must_use]
+pub fn encode_frame(event: &WireEvent) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(100);
+    frame.extend_from_slice(&[0; 4]);
+    encode_frame_body(event, &mut frame);
+    let body_len = u32::try_from(frame.len() - 4).expect("frame body fits u32");
+    frame[..4].copy_from_slice(&body_len.to_le_bytes());
     frame
 }
 
@@ -444,13 +474,19 @@ impl FrameDecoder {
         for (i, b) in len_bytes.iter_mut().enumerate() {
             *b = self.buf[i];
         }
-        let len = u32::from_le_bytes(len_bytes) as usize;
-        if len == 0 {
+        let prefix = u32::from_le_bytes(len_bytes);
+        if prefix == 0 {
             return Err(WireError::EmptyFrame);
         }
-        if len > MAX_FRAME_BODY {
-            return Err(WireError::FrameTooLarge { len });
+        // Compare in u64 so the bound check cannot be weakened by a
+        // u32→usize truncation on a narrow target; a prefix of exactly
+        // MAX_FRAME_BODY is legal, MAX_FRAME_BODY + 1 is not.
+        if u64::from(prefix) > MAX_FRAME_BODY as u64 {
+            return Err(WireError::FrameTooLarge {
+                len: usize::try_from(prefix).unwrap_or(usize::MAX),
+            });
         }
+        let len = prefix as usize;
         if self.buf.len() < 4 + len {
             return Ok(None);
         }
@@ -1077,6 +1113,46 @@ mod tests {
         frame.push(0xAB);
         dec.feed(&frame);
         assert!(matches!(dec.next(), Err(WireError::BadLength { .. })));
+    }
+
+    #[test]
+    fn frame_length_prefix_boundary_is_exact() {
+        // A body of exactly MAX_FRAME_BODY bytes passes the size check:
+        // the decoder consumes it and reports the (unknown) tag, proving
+        // the bound is not off by one at the top.
+        let mut dec = FrameDecoder::new();
+        let len = u32::try_from(MAX_FRAME_BODY).unwrap();
+        dec.feed(&len.to_le_bytes());
+        dec.feed(&vec![0xEEu8; MAX_FRAME_BODY]);
+        assert_eq!(dec.next(), Err(WireError::UnknownTag(0xEE)));
+
+        // One byte over the cap is rejected as a typed error before any
+        // body bytes arrive — never a panic, never a wait for data.
+        let mut dec = FrameDecoder::new();
+        let len = u32::try_from(MAX_FRAME_BODY + 1).unwrap();
+        dec.feed(&len.to_le_bytes());
+        assert_eq!(
+            dec.next(),
+            Err(WireError::FrameTooLarge {
+                len: MAX_FRAME_BODY + 1
+            })
+        );
+
+        // The full u32 range stays typed too (no truncation to a small
+        // in-bounds value on any target width).
+        let mut dec = FrameDecoder::new();
+        dec.feed(&u32::MAX.to_le_bytes());
+        assert!(matches!(dec.next(), Err(WireError::FrameTooLarge { .. })));
+    }
+
+    #[test]
+    fn body_len_matches_encoder_output() {
+        for e in sample_events() {
+            let mut body = Vec::new();
+            encode_frame_body(&e, &mut body);
+            assert_eq!(body_len(body[0]), Some(body.len()), "{e:?}");
+        }
+        assert_eq!(body_len(250), None);
     }
 
     #[test]

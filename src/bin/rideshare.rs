@@ -89,7 +89,7 @@ USAGE:
                      [--threads N] [--no-bound] [--canonical]
                      [--json PATH] [--csv PATH]
                      (scenario × policy matrix, parallel sharded)
-  rideshare replay   [--tasks N] [--drivers N] [--seed S]
+  rideshare replay   [--tasks N] [--drivers N] [--seed S] [--input FILE.rtb]
                      [--policy margin|nearest|batch-<W>|batch-opt-<W>]
                      [--model hitch|hwh] [--delivery]
                      [--surge-window MINS] [--no-grid] [--quiet-table]
@@ -97,7 +97,8 @@ USAGE:
                      (bounded-memory streaming replay; N can be millions)
   rideshare export   [--tasks N] [--drivers N] [--seed S]
                      [--model hitch|hwh] [--delivery] [--regions K]
-                     [--surge-window MINS] [--format jsonl|csv] [--out PATH]
+                     [--surge-window MINS] [--format jsonl|csv|bin]
+                     [--out PATH]
                      (write the priced event stream as an ingestable log)
   rideshare serve    --source jsonl:PATH|csv:PATH|tcp:ADDR
                      [--policy margin|nearest|batch-<W>|batch-opt-<W>]
@@ -123,8 +124,14 @@ folded round-robin): decisions and metrics are byte-identical to
 `--shards 1` on the same `--regions`, only faster. `--canonical` omits
 wall-clock lines so reports diff clean across shard counts.
 
+`replay --input FILE.rtb` skips the generator and the pricer entirely:
+events decode zero-copy out of the binary log `export --format bin`
+wrote (fixed-width records, see crates/trace rtb docs), with decisions
+byte-identical to the generator-fed pipeline over the same trace.
+
 `export` writes the replay pipeline's event stream (drivers, priced
-tasks, end-of-stream marker) as a JSONL or CSV log. `serve` ingests such
+tasks, end-of-stream marker) as a JSONL, CSV or binary `.rtb` log.
+`serve` ingests such
 a log — or the same events framed over TCP (`tcp:ADDR` binds and serves
 one connection) — through the identical engines: a drained daemon's
 table and summary are byte-identical to `replay --canonical` on the same
@@ -140,6 +147,14 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// The `--input` path as display text for error messages (empty when the
+/// flag is absent, which the call sites never hit).
+fn input_label(input: &Option<PathBuf>) -> String {
+    input
+        .as_deref()
+        .map_or_else(String::new, |p| p.display().to_string())
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
@@ -358,8 +373,10 @@ fn parse_stream_policy(args: &[String]) -> Result<rideshare::online::ShardPolicy
 fn replay(args: &[String]) -> Result<(), String> {
     use rideshare::metrics::StreamMetrics;
     use rideshare::online::{
-        replay_sharded, BoxPartitioner, ShardOptions, StreamEngine, StreamEvent, StreamOptions,
+        replay_sharded, wire_to_event, BoxPartitioner, ShardOptions, StreamEngine, StreamEvent,
+        StreamOptions,
     };
+    use rideshare::trace::rtb;
 
     let tasks: usize = parse_flag(args, "--tasks", 100_000)?;
     let drivers: usize = parse_flag(args, "--drivers", 450)?;
@@ -419,8 +436,65 @@ fn replay(args: &[String]) -> Result<(), String> {
         StreamOptions::default().grid(bbox)
     };
     let mut metrics = StreamMetrics::hourly();
+
+    // `--input FILE.rtb` replaces the generator + pricer with the binary
+    // event log `export --format bin` wrote: the whole file is slurped
+    // once and records decode zero-copy out of the buffer, so nothing but
+    // the dispatch engine itself runs in the hot loop. The decisions are
+    // byte-identical to the generator-fed pipeline over the same trace
+    // (the rtb_equivalence battery pins this).
+    let input = flag_value(args, "--input").map(PathBuf::from);
+    let rtb_data = match &input {
+        Some(path) => {
+            Some(std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?)
+        }
+        None => None,
+    };
+
     let start = std::time::Instant::now();
-    let summary = if shards > 1 {
+    let summary = if let Some(data) = &rtb_data {
+        let mut slice =
+            rtb::RtbSlice::new(data).map_err(|e| format!("{}: {e}", input_label(&input)))?;
+        if shards > 1 {
+            let partitioner = BoxPartitioner::new(config.region_boxes());
+            // replay_sharded consumes a plain iterator; a decode error
+            // parks here and surfaces after the engine drains.
+            let decode_err = std::cell::RefCell::new(None);
+            let events = std::iter::from_fn(|| match slice.next() {
+                Ok(wire) => wire.and_then(wire_to_event),
+                Err(e) => {
+                    *decode_err.borrow_mut() = Some(e);
+                    None
+                }
+            });
+            let summary = replay_sharded(
+                speed,
+                events,
+                spec,
+                &partitioner,
+                ShardOptions::new(shards).stream(options).validate(false),
+                &mut metrics,
+            );
+            if let Some(e) = decode_err.into_inner() {
+                return Err(format!("{}: {e}", input_label(&input)));
+            }
+            summary
+        } else {
+            let mut holder = spec.holder();
+            let mut policy = holder.as_policy();
+            let mut engine = StreamEngine::new(speed, options);
+            loop {
+                let wire = slice
+                    .next()
+                    .map_err(|e| format!("{}: {e}", input_label(&input)))?;
+                match wire.and_then(wire_to_event) {
+                    Some(event) => engine.push(event, &mut policy, &mut metrics),
+                    None => break,
+                }
+            }
+            engine.finish(&mut policy, &mut metrics)
+        }
+    } else if shards > 1 {
         let partitioner = BoxPartitioner::new(config.region_boxes());
         let driver_events: Vec<StreamEvent> = stream
             .drivers()
@@ -491,9 +565,16 @@ fn replay(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Export output encoding: a line format, or the fixed-width binary
+/// `.rtb` record stream replay can consume directly.
+enum ExportFormat {
+    Lines(rideshare::online::IngestFormat),
+    Bin,
+}
+
 fn export(args: &[String]) -> Result<(), String> {
-    use rideshare::online::{event_to_line, IngestFormat, StreamEvent};
-    use rideshare::trace::wire;
+    use rideshare::online::{event_to_line, event_to_wire, IngestFormat, StreamEvent};
+    use rideshare::trace::{rtb, wire};
     use std::io::Write as _;
 
     let tasks: usize = parse_flag(args, "--tasks", 100_000)?;
@@ -502,9 +583,10 @@ fn export(args: &[String]) -> Result<(), String> {
     let surge_mins: i64 = parse_flag(args, "--surge-window", 30)?;
     let regions: usize = parse_flag(args, "--regions", 1)?;
     let format = match flag_value(args, "--format") {
-        Some("csv") => IngestFormat::Csv,
-        Some("jsonl") | None => IngestFormat::Jsonl,
-        Some(other) => return Err(format!("unknown format '{other}' (jsonl|csv)")),
+        Some("csv") => ExportFormat::Lines(IngestFormat::Csv),
+        Some("jsonl") | None => ExportFormat::Lines(IngestFormat::Jsonl),
+        Some("bin") => ExportFormat::Bin,
+        Some(other) => return Err(format!("unknown format '{other}' (jsonl|csv|bin)")),
     };
     let model = match flag_value(args, "--model") {
         Some("hwh") => DriverModel::HomeWorkHome,
@@ -545,27 +627,46 @@ fn export(args: &[String]) -> Result<(), String> {
         )),
         None => Box::new(std::io::BufWriter::new(std::io::stdout())),
     };
-    let mut emit = |line: String| -> Result<(), String> {
-        writeln!(out, "{line}").map_err(|e| format!("writing event log: {e}"))
-    };
     let mut count = 0usize;
-    for shift in stream.drivers() {
-        emit(event_to_line(
-            &StreamEvent::DriverOnline(Driver::from(shift)),
-            format,
-        ))?;
-        count += 1;
+    match format {
+        ExportFormat::Lines(format) => {
+            let mut emit = |line: String| -> Result<(), String> {
+                writeln!(out, "{line}").map_err(|e| format!("writing event log: {e}"))
+            };
+            for shift in stream.drivers() {
+                emit(event_to_line(
+                    &StreamEvent::DriverOnline(Driver::from(shift)),
+                    format,
+                ))?;
+                count += 1;
+            }
+            for trip in stream {
+                let task = pricer.price(&trip);
+                emit(event_to_line(&StreamEvent::TaskPublished(task), format))?;
+                count += 1;
+            }
+            let eos = match format {
+                IngestFormat::Jsonl => wire::to_json_line(&wire::WireEvent::Eos),
+                IngestFormat::Csv => wire::to_csv_line(&wire::WireEvent::Eos),
+            };
+            emit(eos)?;
+        }
+        ExportFormat::Bin => {
+            let io_err = |e: std::io::Error| format!("writing .rtb stream: {e}");
+            let mut writer = rtb::RtbWriter::new(out).map_err(io_err)?;
+            for shift in stream.drivers() {
+                let event = StreamEvent::DriverOnline(Driver::from(shift));
+                writer.write_event(&event_to_wire(&event)).map_err(io_err)?;
+                count += 1;
+            }
+            for trip in stream {
+                let event = StreamEvent::TaskPublished(pricer.price(&trip));
+                writer.write_event(&event_to_wire(&event)).map_err(io_err)?;
+                count += 1;
+            }
+            writer.finish().map_err(io_err)?;
+        }
     }
-    for trip in stream {
-        let task = pricer.price(&trip);
-        emit(event_to_line(&StreamEvent::TaskPublished(task), format))?;
-        count += 1;
-    }
-    let eos = match format {
-        IngestFormat::Jsonl => wire::to_json_line(&wire::WireEvent::Eos),
-        IngestFormat::Csv => wire::to_csv_line(&wire::WireEvent::Eos),
-    };
-    emit(eos)?;
     if let Some(path) = flag_value(args, "--out") {
         println!("wrote {count} events (+ end-of-stream) to {path}");
     }

@@ -15,12 +15,18 @@
 //!   (floats survive because the encoders use Rust's shortest-round-trip
 //!   `{}` formatting),
 //! - the `StreamEvent` ↔ `WireEvent` conversion used at the ingest
-//!   boundary: lossless for every event kind.
+//!   boundary: lossless for every event kind,
+//! - the compact `.rtb` binary stream: `write_events` → `read_events`
+//!   identity over adversarial events, and the incremental
+//!   [`RtbFileReader`] fed through a reader that trickles arbitrary
+//!   chunk sizes decodes exactly what the whole-buffer [`RtbSlice`]
+//!   path does.
 
 use proptest::prelude::*;
 
 use rideshare::online::{event_to_wire, wire_to_event};
 use rideshare::prelude::*;
+use rideshare::trace::rtb::{self, RtbFileReader, RtbSlice};
 use rideshare::trace::wire::{
     encode_frame, from_csv_line, from_json_line, to_csv_line, to_json_line, FrameDecoder,
     WireDriver, WireEvent, WireTask,
@@ -122,6 +128,35 @@ fn arb_event() -> impl Strategy<Value = WireEvent> {
     ]
 }
 
+/// Stream events only — [`WireEvent::Eos`] is the `.rtb` terminator, not
+/// a record a caller hands to the writer.
+fn arb_stream_event() -> impl Strategy<Value = WireEvent> {
+    prop_oneof![
+        3 => arb_driver().prop_map(WireEvent::DriverOnline),
+        4 => arb_task().prop_map(WireEvent::TaskPublished),
+        1 => any::<u32>().prop_map(WireEvent::DriverOffline),
+        1 => arb_epoch().prop_map(WireEvent::EpochTick),
+    ]
+}
+
+/// A reader that yields at most `chunk` bytes per `read` call — the
+/// incremental `.rtb` reader must be insensitive to transport chunking,
+/// exactly like the frame decoder below.
+struct Trickle<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl std::io::Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
 /// Decodes a whole byte stream with the given feeding chunk length.
 fn decode_all(bytes: &[u8], chunk: usize) -> Vec<WireEvent> {
     let mut decoder = FrameDecoder::default();
@@ -193,6 +228,49 @@ proptest! {
             Some(stream_event) => {
                 prop_assert_eq!(event_to_wire(&stream_event), event);
             }
+        }
+    }
+
+    // The `.rtb` binary stream is the identity over adversarial events:
+    // what `write_events` lays down, `read_events` yields back — exact
+    // floats, boundary epochs, hemisphere coordinates and all — and the
+    // writer's back-patched header count matches.
+    #[test]
+    fn rtb_round_trip_is_identity(
+        events in prop::collection::vec(arb_stream_event(), 0..40),
+    ) {
+        let mut bytes = Vec::new();
+        let count = rtb::write_events(&mut bytes, &events).unwrap();
+        prop_assert_eq!(count, events.len() as u64);
+        let decoded = rtb::read_events(&bytes).unwrap();
+        prop_assert_eq!(decoded, events);
+    }
+
+    // The incremental reader decodes exactly what the zero-copy slice
+    // reader does, no matter how the transport chunks the bytes.
+    #[test]
+    fn rtb_chunked_read_equals_whole_buffer_decode(
+        events in prop::collection::vec(arb_stream_event(), 0..40),
+        chunk in 1usize..48,
+    ) {
+        let mut bytes = Vec::new();
+        rtb::write_events(&mut bytes, &events).unwrap();
+
+        let mut whole = Vec::new();
+        let mut slice = RtbSlice::new(&bytes).unwrap();
+        while let Some(e) = slice.next().unwrap() {
+            whole.push(e);
+        }
+
+        for chunk in [1, chunk, bytes.len()] {
+            let trickle = Trickle { data: &bytes, pos: 0, chunk };
+            let mut reader = RtbFileReader::from_reader(trickle).unwrap();
+            let mut chunked = Vec::new();
+            while let Some(e) = reader.next().unwrap() {
+                chunked.push(e);
+            }
+            prop_assert_eq!(&chunked, &whole);
+            prop_assert_eq!(&chunked, &events);
         }
     }
 
