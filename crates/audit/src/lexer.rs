@@ -1,0 +1,632 @@
+//! A hand-rolled, comment/string/raw-string-aware Rust lexer.
+//!
+//! The auditor's rules are token-pattern rules; everything rests on the
+//! lexer never confusing code with non-code. The cases that matter (and
+//! that the property tests in `tests/lexer_props.rs` hammer):
+//!
+//! - **line comments** (`//`, `///`, `//!`) run to end of line,
+//! - **block comments** (`/* … */`) nest, per the Rust grammar,
+//! - **string literals** honor escapes (`"\""` does not end early),
+//! - **raw strings** (`r"…"`, `r#"…"#`, any hash count, plus `br`/`cr`
+//!   prefixes) ignore both escapes and quotes until the matching
+//!   `"##…#` fence,
+//! - **lifetimes vs. char literals**: `'a` is a lifetime, `'a'` is a
+//!   char, `'\''` is a char, `b'x'` is a byte char,
+//! - **raw identifiers**: `r#match` is an identifier, `r#"…"#` is not.
+//!
+//! A miss in any of these would either let a rule fire inside a string
+//! (false positive) or let real code hide inside a phantom string
+//! (false negative — the dangerous direction). The lexer is total: it
+//! never panics, and unterminated constructs simply extend to end of
+//! input as one token.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A character literal (`'x'`, `'\n'`, `b'x'`).
+    CharLit,
+    /// Any string literal: plain, byte, C, or raw with any hash count.
+    StrLit,
+    /// A numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// Operator or delimiter. Compound assignment and path separators
+    /// are emitted as one token (`::`, `+=`, `->`, …).
+    Punct,
+    /// A `// …` comment (through end of line, marker included).
+    LineComment,
+    /// A `/* … */` comment (nesting honored, markers included).
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for tokens the rule engine matches against (everything that
+    /// is not a comment).
+    #[must_use]
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Two-character operators emitted as single tokens. Order matters only
+/// in that every entry is checked before falling back to one character.
+const COMPOUND_PUNCT: &[&str] = &[
+    "::", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "->", "=>", "==", "!=", "<=",
+    ">=", "&&", "||", "..",
+];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens, comments included. Total: consumes every
+/// character of any input without panicking; unterminated strings or
+/// block comments extend to end of input.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let token = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if let Some(tok) = try_lex_string_prefix(&mut cur) {
+            tok
+        } else if c == '"' {
+            lex_plain_string(&mut cur)
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else if is_ident_start(c) {
+            lex_ident(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            lex_punct(&mut cur)
+        };
+        out.push(Token { line, col, ..token });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::LineComment,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push('/');
+            text.push('*');
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push('*');
+            text.push('/');
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    Token {
+        kind: TokenKind::BlockComment,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Handles every literal that *starts like an identifier*: `r"…"`,
+/// `r#"…"#`, `b"…"`, `br##"…"##`, `c"…"`, `cr#"…"#`, `b'x'`, and the
+/// raw-identifier form `r#name`. Returns `None` when the `r`/`b`/`c` is
+/// just the start of an ordinary identifier.
+fn try_lex_string_prefix(cur: &mut Cursor) -> Option<Token> {
+    let c = cur.peek(0)?;
+    if !matches!(c, 'r' | 'b' | 'c') {
+        return None;
+    }
+    // How many prefix chars before the quote machinery starts?
+    let (prefix_len, raw) = match (c, cur.peek(1)) {
+        ('r', Some('"')) => (1, true),
+        ('r', Some('#')) => {
+            // r#"…"# raw string or r#ident raw identifier: decided by
+            // what follows the hashes.
+            let mut k = 1;
+            while cur.peek(k) == Some('#') {
+                k += 1;
+            }
+            if cur.peek(k) == Some('"') {
+                (1, true)
+            } else {
+                // Raw identifier r#name: lex as an Ident.
+                cur.bump(); // r
+                cur.bump(); // #
+                let mut text = String::from("r#");
+                while let Some(c) = cur.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                return Some(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line: 0,
+                    col: 0,
+                });
+            }
+        }
+        ('b', Some('"')) => (1, false),
+        ('b', Some('\'')) => {
+            // Byte char literal b'x'.
+            cur.bump(); // b
+            let mut tok = lex_quote(cur);
+            tok.text.insert(0, 'b');
+            tok.kind = TokenKind::CharLit;
+            return Some(tok);
+        }
+        ('b', Some('r')) if matches!(cur.peek(2), Some('"' | '#')) => (2, true),
+        ('c', Some('"')) => (1, false),
+        ('c', Some('r')) if matches!(cur.peek(2), Some('"' | '#')) => (2, true),
+        _ => return None,
+    };
+    // For the 2-char prefixes, `br#x` (not a quote after hashes) is not
+    // actually a string start; but `br` followed by `#` must check too.
+    if raw && prefix_len == 2 && cur.peek(2) == Some('#') {
+        let mut k = 2;
+        while cur.peek(k) == Some('#') {
+            k += 1;
+        }
+        if cur.peek(k) != Some('"') {
+            return None; // e.g. `br#ident` — not valid Rust, lex as idents
+        }
+    }
+    let mut text = String::new();
+    for _ in 0..prefix_len {
+        text.push(cur.bump().unwrap_or_default());
+    }
+    if raw {
+        // Count fence hashes, then the opening quote.
+        let mut hashes = 0usize;
+        while cur.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            cur.bump();
+        }
+        if cur.peek(0) == Some('"') {
+            text.push('"');
+            cur.bump();
+        }
+        // Scan for `"` followed by `hashes` hashes. No escapes in raw
+        // strings — that is the whole point.
+        'scan: while let Some(c) = cur.peek(0) {
+            if c == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if cur.peek(1 + k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    text.push('"');
+                    cur.bump();
+                    for _ in 0..hashes {
+                        text.push('#');
+                        cur.bump();
+                    }
+                    break 'scan;
+                }
+            }
+            text.push(c);
+            cur.bump();
+        }
+    } else {
+        // b"…" / c"…": escape-aware like a plain string.
+        let mut tok = lex_plain_string(cur);
+        tok.text.insert_str(0, &text);
+        return Some(tok);
+    }
+    Some(Token {
+        kind: TokenKind::StrLit,
+        text,
+        line: 0,
+        col: 0,
+    })
+}
+
+fn lex_plain_string(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or_default()); // opening "
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == '"' {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::StrLit,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Lexes a `'`: lifetime, loop label, or char literal.
+fn lex_quote(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or_default()); // '
+    match cur.peek(0) {
+        // `'a'` is a char, `'a` / `'abc` is a lifetime: decided by
+        // whether a quote immediately follows the identifier run.
+        Some(c) if is_ident_start(c) => {
+            let mut k = 1;
+            while cur.peek(k).is_some_and(is_ident_continue) {
+                k += 1;
+            }
+            if cur.peek(k) == Some('\'') && k == 1 {
+                // 'x' — a one-char literal.
+                text.push(cur.bump().unwrap_or_default());
+                text.push(cur.bump().unwrap_or_default());
+                Token {
+                    kind: TokenKind::CharLit,
+                    text,
+                    line: 0,
+                    col: 0,
+                }
+            } else {
+                // Lifetime or label: consume the identifier only.
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    text.push(cur.bump().unwrap_or_default());
+                }
+                Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line: 0,
+                    col: 0,
+                }
+            }
+        }
+        // Escape: definitely a char literal, e.g. '\n', '\'', '\u{1F600}'.
+        Some('\\') => {
+            text.push(cur.bump().unwrap_or_default());
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            while let Some(c) = cur.peek(0) {
+                text.push(c);
+                cur.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            Token {
+                kind: TokenKind::CharLit,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        // Any other single char: ' ', '$', '∞'… closed by the next quote.
+        Some(_) => {
+            text.push(cur.bump().unwrap_or_default());
+            if cur.peek(0) == Some('\'') {
+                text.push(cur.bump().unwrap_or_default());
+            }
+            Token {
+                kind: TokenKind::CharLit,
+                text,
+                line: 0,
+                col: 0,
+            }
+        }
+        None => Token {
+            kind: TokenKind::CharLit,
+            text,
+            line: 0,
+            col: 0,
+        },
+    }
+}
+
+fn lex_ident(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    // Integer part (covers 0x/0b/0o bodies and suffixes like u32 too —
+    // alphanumerics glue onto the literal, exactly as rustc lexes them).
+    while let Some(c) = cur.peek(0) {
+        if c.is_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part only when a digit follows the dot — `1..n` must
+    // leave the range operator alone, and `x.1.0` tuple chains stop at
+    // the first non-digit continuation.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push('.');
+        cur.bump();
+        while let Some(c) = cur.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    // Exponent sign: `1e-9` / `2.5E+10` keep the sign inside the number.
+    if text.ends_with(['e', 'E'])
+        && matches!(cur.peek(0), Some('+' | '-'))
+        && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+    {
+        text.push(cur.bump().unwrap_or_default());
+        while let Some(c) = cur.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    Token {
+        kind: TokenKind::NumLit,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_punct(cur: &mut Cursor) -> Token {
+    let c0 = cur.peek(0).unwrap_or_default();
+    if let Some(c1) = cur.peek(1) {
+        let pair: String = [c0, c1].iter().collect();
+        if COMPOUND_PUNCT.contains(&pair.as_str()) {
+            cur.bump();
+            cur.bump();
+            return Token {
+                kind: TokenKind::Punct,
+                text: pair,
+                line: 0,
+                col: 0,
+            };
+        }
+    }
+    cur.bump();
+    Token {
+        kind: TokenKind::Punct,
+        text: c0.to_string(),
+        line: 0,
+        col: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn code_inside_strings_is_not_code() {
+        let toks = kinds(r#"let s = "HashMap::new() // not a comment";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains("HashMap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_escapes() {
+        let src = "let s = r#\"she said \"hi\\\" and left\"#; x.iter()";
+        let toks = kinds(src);
+        let s = toks
+            .iter()
+            .find(|(k, _)| *k == TokenKind::StrLit)
+            .map(|(_, t)| t.clone())
+            .unwrap_or_default();
+        assert!(s.contains("she said"));
+        // The iter() *after* the raw string is real code again.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "iter"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Ident).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::CharLit)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn raw_identifier_is_ident_not_string() {
+        let toks = kinds("let r#match = 1; let s = r#\"x\"#;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains('x')));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..n {}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::NumLit && t == "0"));
+    }
+
+    #[test]
+    fn unterminated_constructs_are_total() {
+        // Must not panic, must consume everything.
+        let _ = lex("\"unterminated");
+        let _ = lex("/* unterminated");
+        let _ = lex("r##\"unterminated");
+        let _ = lex("'");
+        let _ = lex("b'");
+    }
+
+    #[test]
+    fn compound_punct_is_fused() {
+        let toks = kinds("x += 1; y::z; a -> b");
+        for want in ["+=", "::", "->"] {
+            assert!(
+                toks.iter()
+                    .any(|(k, t)| *k == TokenKind::Punct && t == want),
+                "missing {want}"
+            );
+        }
+    }
+}

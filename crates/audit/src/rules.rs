@@ -1,0 +1,739 @@
+//! The determinism/invariant rules and the token-pattern engine that
+//! fires them.
+//!
+//! Each rule protects one invariant the equivalence batteries otherwise
+//! only catch after the fact (see `docs/INVARIANTS.md` at the workspace
+//! root for the catalog):
+//!
+//! - [`ITER_ORDER`]: `HashMap`/`HashSet` iteration in dispatch/metrics
+//!   crates — iteration order is seeded per-process, so any decision or
+//!   serialized output derived from it breaks byte-identity.
+//! - [`WALL_CLOCK`]: `Instant::now` / `SystemTime` / `thread::sleep`
+//!   outside the bench harness — replay determinism forbids reading the
+//!   host clock on any dispatch path.
+//! - [`FLOAT_ACCUM`]: float compound-assignment or `sum::<f64>()` in
+//!   the metrics crate — cross-shard exactness rests on the i128
+//!   fixed-point accumulators (PR 5), not on float addition order.
+//! - [`AS_CAST`]: numeric `as` casts in the wire/rtb codecs — a
+//!   truncating cast corrupts frames silently; widen with `From` or
+//!   waive with the proof it cannot truncate.
+//! - [`UNWRAP_PANIC`]: `unwrap`/`expect`/`panic!` in the ingest/serve
+//!   boundary — hostile feeds must surface typed `IngestError`s, never
+//!   panics.
+//!
+//! Findings inside `#[cfg(test)]` / `#[test]` items are skipped: tests
+//! may panic and read clocks at will. A finding is silenced only by an
+//! inline waiver —
+//!
+//! ```text
+//! // audit:allow(<rule>): <reason>
+//! ```
+//!
+//! — on the offending line or on a comment line directly above it. The
+//! reason is mandatory and unused waivers are findings themselves, so
+//! the waiver ledger can never drift from the code.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Rule id: `HashMap`/`HashSet` iteration in the dispatch/metrics tier.
+pub const ITER_ORDER: &str = "iter-order";
+/// Rule id: wall-clock reads outside the bench harness.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// Rule id: float accumulation in the metrics crate.
+pub const FLOAT_ACCUM: &str = "float-accum";
+/// Rule id: numeric `as` casts in the binary codecs.
+pub const AS_CAST: &str = "as-cast";
+/// Rule id: `unwrap`/`expect`/`panic!` on hostile-input paths.
+pub const UNWRAP_PANIC: &str = "unwrap-panic";
+/// Meta rule id: a waiver that silenced nothing.
+pub const UNUSED_WAIVER: &str = "unused-waiver";
+/// Meta rule id: a waiver the auditor could not parse (missing reason,
+/// unknown rule name).
+pub const BAD_WAIVER: &str = "bad-waiver";
+
+/// Every real (waivable) rule id, in canonical report order.
+pub const RULES: &[&str] = &[ITER_ORDER, WALL_CLOCK, FLOAT_ACCUM, AS_CAST, UNWRAP_PANIC];
+
+/// One audit finding, waived or not.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (one of the ids in this module).
+    pub rule: &'static str,
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong, specifically.
+    pub message: String,
+    /// The full source line the finding points into.
+    pub excerpt: String,
+    /// True when an `audit:allow` waiver covers this finding.
+    pub waived: bool,
+    /// The waiver's mandatory reason, when waived.
+    pub reason: Option<String>,
+}
+
+/// An `// audit:allow(rule): reason` comment, located and parsed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    /// The rule id the waiver names.
+    pub rule: String,
+    /// The mandatory justification after the colon.
+    pub reason: String,
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// The code line this waiver covers (the comment's own line for a
+    /// trailing waiver, the next code line for a standalone one).
+    pub target_line: u32,
+}
+
+/// Everything the engine extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// All findings, waived and unwaived, in source order.
+    pub findings: Vec<Finding>,
+    /// Parsed well-formed waivers (used or not).
+    pub waivers: Vec<Waiver>,
+}
+
+/// Analyzes one source file under the rules `policy::rules_for(rel)`
+/// selects. `rel` is the workspace-relative path used in reports.
+#[must_use]
+pub fn analyze_source(rel: &str, src: &str) -> FileAnalysis {
+    let rules = crate::policy::rules_for(rel);
+    let tokens = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let excerpt = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| (*l).to_string())
+            .unwrap_or_default()
+    };
+
+    let mut analysis = FileAnalysis::default();
+    let (waivers, mut bad) = extract_waivers(rel, &tokens);
+    for f in &mut bad {
+        f.excerpt = excerpt(f.line);
+    }
+    analysis.waivers = waivers;
+
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let skipped = test_line_ranges(&code);
+    let in_test = |line: u32| skipped.iter().any(|&(lo, hi)| (lo..=hi).contains(&line));
+
+    let mut raw: Vec<Finding> = Vec::new();
+    if !rules.is_empty() {
+        let hash_bindings = collect_bindings(&code, &["HashMap", "HashSet"]);
+        let float_bindings = collect_bindings(&code, &["f32", "f64"]);
+        for rule in &rules {
+            let hits = match *rule {
+                ITER_ORDER => match_iter_order(&code, &hash_bindings),
+                WALL_CLOCK => match_wall_clock(&code),
+                FLOAT_ACCUM => match_float_accum(&code, &float_bindings),
+                AS_CAST => match_as_cast(&code),
+                UNWRAP_PANIC => match_unwrap_panic(&code),
+                _ => Vec::new(),
+            };
+            for (tok_line, tok_col, message) in hits {
+                if in_test(tok_line) {
+                    continue;
+                }
+                raw.push(Finding {
+                    rule,
+                    path: rel.to_string(),
+                    line: tok_line,
+                    col: tok_col,
+                    message,
+                    excerpt: excerpt(tok_line),
+                    waived: false,
+                    reason: None,
+                });
+            }
+        }
+    }
+    raw.sort_by_key(|f| (f.line, f.col, f.rule));
+
+    // Waiver application: a waiver covers findings of its rule on its
+    // target line. Track per-waiver usage for the unused-waiver rule.
+    let mut used = vec![false; analysis.waivers.len()];
+    for f in &mut raw {
+        for (w, used) in analysis.waivers.iter().zip(used.iter_mut()) {
+            if w.rule == f.rule && w.target_line == f.line {
+                f.waived = true;
+                f.reason = Some(w.reason.clone());
+                *used = true;
+            }
+        }
+    }
+    analysis.findings = raw;
+
+    for (w, used) in analysis.waivers.iter().zip(&used) {
+        if !used && !in_test(w.line) {
+            analysis.findings.push(Finding {
+                rule: UNUSED_WAIVER,
+                path: rel.to_string(),
+                line: w.line,
+                col: 1,
+                message: format!(
+                    "waiver `audit:allow({})` silences nothing on line {}",
+                    w.rule, w.target_line
+                ),
+                excerpt: excerpt(w.line),
+                waived: false,
+                reason: None,
+            });
+        }
+    }
+    analysis.findings.extend(bad);
+    analysis.findings.sort_by_key(|f| (f.line, f.col, f.rule));
+    analysis
+}
+
+/// Parses every `audit:allow` occurrence out of the comment tokens.
+/// Returns well-formed waivers plus `bad-waiver` findings for the rest.
+fn extract_waivers(rel: &str, tokens: &[Token]) -> (Vec<Waiver>, Vec<Finding>) {
+    // Lines that contain at least one code token, for target resolution.
+    let code_lines: Vec<u32> = {
+        let mut v: Vec<u32> = tokens
+            .iter()
+            .filter(|t| t.is_code())
+            .map(|t| t.line)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut waivers = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens {
+        if t.is_code() {
+            continue;
+        }
+        // Waivers live in plain comments only. Doc comments (`///`,
+        // `//!`, `/**`, `/*!`) *describe* the waiver syntax — the
+        // auditor's own documentation must not register as waivers.
+        let is_doc = t.text.starts_with("///")
+            || t.text.starts_with("//!")
+            || t.text.starts_with("/**")
+            || t.text.starts_with("/*!");
+        if is_doc {
+            continue;
+        }
+        let Some(at) = t.text.find("audit:allow") else {
+            continue;
+        };
+        let rest = &t.text[at + "audit:allow".len()..];
+        let mut push_bad = |message: String| {
+            bad.push(Finding {
+                rule: BAD_WAIVER,
+                path: rel.to_string(),
+                line: t.line,
+                col: t.col,
+                message,
+                excerpt: String::new(),
+                waived: false,
+                reason: None,
+            });
+        };
+        let Some(rest) = rest.strip_prefix('(') else {
+            push_bad("malformed waiver: expected `audit:allow(<rule>): <reason>`".to_string());
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            push_bad("malformed waiver: unclosed `(` in `audit:allow(<rule>)`".to_string());
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !RULES.contains(&rule.as_str()) {
+            push_bad(format!(
+                "unknown rule `{rule}` in waiver (known: {})",
+                RULES.join(", ")
+            ));
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let Some(reason) = after.strip_prefix(':') else {
+            push_bad(format!(
+                "waiver for `{rule}` is missing its mandatory `: <reason>`"
+            ));
+            continue;
+        };
+        let reason = reason.trim().trim_end_matches("*/").trim().to_string();
+        if reason.is_empty() {
+            push_bad(format!("waiver for `{rule}` has an empty reason"));
+            continue;
+        }
+        // Trailing waiver (code before the comment on the same line)
+        // covers its own line; a standalone comment line covers the
+        // next line that has code on it.
+        let own_line_has_code = tokens
+            .iter()
+            .any(|o| o.is_code() && o.line == t.line && o.col < t.col);
+        let target_line = if own_line_has_code {
+            t.line
+        } else {
+            code_lines
+                .iter()
+                .copied()
+                .find(|&l| l > t.line)
+                .unwrap_or(0)
+        };
+        waivers.push(Waiver {
+            rule,
+            reason,
+            line: t.line,
+            target_line,
+        });
+    }
+    (waivers, bad)
+}
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items (inclusive).
+///
+/// After the attribute (and any further stacked attributes), the item
+/// body is the brace-balanced block starting at the next `{`; an item
+/// that ends with `;` before any `{` (e.g. `#[cfg(test)] use …;`) spans
+/// only to that semicolon.
+fn test_line_ranges(code: &[&Token]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].kind == TokenKind::Punct && code[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let Some(end) = attr_end(code, i) else {
+            i += 1;
+            continue;
+        };
+        if !attr_is_test(code, i, end) {
+            i = end + 1;
+            continue;
+        }
+        let start_line = code[i].line;
+        // Skip further stacked attributes.
+        let mut j = end + 1;
+        while j < code.len() && code[j].kind == TokenKind::Punct && code[j].text == "#" {
+            match attr_end(code, j) {
+                Some(e) => j = e + 1,
+                None => break,
+            }
+        }
+        // Find the item extent: first `{` (then match braces) or `;`.
+        let mut depth = 0usize;
+        let mut end_line = start_line;
+        while j < code.len() {
+            let t = code[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end_line = t.line;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        end_line = t.line;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end_line = t.line;
+            j += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = j + 1;
+    }
+    ranges
+}
+
+/// The index of the `]` closing the attribute whose `#` is at `i`.
+fn attr_end(code: &[&Token], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    // `#![…]` inner attributes too.
+    if j < code.len() && code[j].kind == TokenKind::Punct && code[j].text == "!" {
+        j += 1;
+    }
+    if !(j < code.len() && code[j].kind == TokenKind::Punct && code[j].text == "[") {
+        return None;
+    }
+    let mut depth = 0usize;
+    while j < code.len() {
+        if code[j].kind == TokenKind::Punct {
+            match code[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Whether the attribute spanning `i..=end` is `#[test]` or contains
+/// `cfg(test)` (covers `#[cfg(test)]` and `#[cfg(all(test, …))]`).
+fn attr_is_test(code: &[&Token], i: usize, end: usize) -> bool {
+    let body: Vec<&str> = code[i..=end].iter().map(|t| t.text.as_str()).collect();
+    if body.len() == 4 && body[2] == "test" {
+        return true; // #[test]
+    }
+    body.windows(3)
+        .any(|w| w[0] == "cfg" && w[1] == "(" && w[2] == "test")
+        || body
+            .windows(2)
+            .any(|w| (w[0] == "test" && w[1] == ",") || (w[0] == "," && w[1] == "test"))
+            && body.contains(&"cfg")
+}
+
+/// Flow-insensitive symbol pass: identifiers (bindings, struct fields,
+/// parameters) whose declared or constructed type names one of `types`.
+///
+/// Catches `name: HashMap<…>` annotations (any path prefix) and
+/// `let [mut] name = [path::]HashMap::new()/with_capacity/from/default()`.
+fn collect_bindings(code: &[&Token], types: &[&str]) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name : [path ::]* Type` — annotation form.
+        if matches!(code.get(i + 1), Some(c) if c.kind == TokenKind::Punct && c.text == ":") {
+            let mut j = i + 2;
+            // Skip reference/lifetime/mut noise and a bounded path prefix.
+            let mut hops = 0;
+            while j < code.len() && hops < 10 {
+                let c = code[j];
+                let is_path_sep = c.kind == TokenKind::Punct && (c.text == "::" || c.text == "&");
+                let is_lifetime = c.kind == TokenKind::Lifetime;
+                let is_mut = c.kind == TokenKind::Ident && c.text == "mut";
+                let is_type = c.kind == TokenKind::Ident && types.contains(&c.text.as_str());
+                let is_path_ident = c.kind == TokenKind::Ident
+                    && matches!(code.get(j + 1), Some(n) if n.kind == TokenKind::Punct && n.text == "::");
+                if is_type {
+                    out.push(t.text.clone());
+                    break;
+                } else if is_path_sep || is_lifetime || is_mut || is_path_ident {
+                    j += 1;
+                    hops += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        // `let [mut] name = … Type :: new(…)` — constructor form.
+        if t.text == "let" {
+            let mut j = i + 1;
+            if matches!(code.get(j), Some(c) if c.kind == TokenKind::Ident && c.text == "mut") {
+                j += 1;
+            }
+            let Some(name) = code.get(j).filter(|c| c.kind == TokenKind::Ident) else {
+                continue;
+            };
+            if !matches!(code.get(j + 1), Some(c) if c.kind == TokenKind::Punct && c.text == "=") {
+                continue;
+            }
+            let ctor = &["new", "with_capacity", "from", "default", "from_iter"];
+            for k in (j + 2)..code.len().min(j + 14) {
+                let c = code[k];
+                if c.kind == TokenKind::Punct && (c.text == ";" || c.text == "{") {
+                    break;
+                }
+                if c.kind == TokenKind::Ident
+                    && types.contains(&c.text.as_str())
+                    && matches!(code.get(k + 1), Some(n) if n.kind == TokenKind::Punct && n.text == "::")
+                    && matches!(code.get(k + 2), Some(n) if n.kind == TokenKind::Ident && ctor.contains(&n.text.as_str()))
+                {
+                    out.push(name.text.clone());
+                    break;
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+type Hit = (u32, u32, String);
+
+/// Iteration methods whose order is the hash-seeded one.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+fn match_iter_order(code: &[&Token], hash_bindings: &[String]) -> Vec<Hit> {
+    let is_hash = |name: &str| {
+        hash_bindings
+            .binary_search_by(|b| b.as_str().cmp(name))
+            .is_ok()
+    };
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        // `binding.iter()` and friends.
+        if t.kind == TokenKind::Ident
+            && ITER_METHODS.contains(&t.text.as_str())
+            && matches!(code.get(i.wrapping_sub(1)), Some(c) if c.kind == TokenKind::Punct && c.text == ".")
+            && matches!(code.get(i + 1), Some(c) if c.kind == TokenKind::Punct && c.text == "(")
+        {
+            if let Some(recv) = code.get(i.wrapping_sub(2)) {
+                if recv.kind == TokenKind::Ident && is_hash(&recv.text) {
+                    hits.push((
+                        recv.line,
+                        recv.col,
+                        format!(
+                            "`{}.{}()` iterates a HashMap/HashSet in hash order",
+                            recv.text, t.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // `for pat in [&][mut] binding {` — direct IntoIterator loop.
+        if t.kind == TokenKind::Ident && t.text == "for" {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut found_in = None;
+            while j < code.len() && j < i + 40 {
+                let c = code[j];
+                if c.kind == TokenKind::Punct {
+                    match c.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" | ";" => break,
+                        _ => {}
+                    }
+                }
+                if depth == 0 && c.kind == TokenKind::Ident && c.text == "in" {
+                    found_in = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(at) = found_in {
+                // Expression tokens until the loop body `{`.
+                let mut expr: Vec<&Token> = Vec::new();
+                let mut k = at + 1;
+                while k < code.len() && k < at + 8 {
+                    let c = code[k];
+                    if c.kind == TokenKind::Punct && c.text == "{" {
+                        break;
+                    }
+                    expr.push(c);
+                    k += 1;
+                }
+                // Strip leading `&` / `&mut`.
+                let mut e: &[&Token] = &expr;
+                while let Some((first, rest)) = e.split_first() {
+                    let noise = (first.kind == TokenKind::Punct && first.text == "&")
+                        || (first.kind == TokenKind::Ident && first.text == "mut");
+                    if noise {
+                        e = rest;
+                    } else {
+                        break;
+                    }
+                }
+                if let [only] = e {
+                    if only.kind == TokenKind::Ident && is_hash(&only.text) {
+                        hits.push((
+                            only.line,
+                            only.col,
+                            format!(
+                                "`for … in {}` iterates a HashMap/HashSet in hash order",
+                                only.text
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    hits
+}
+
+fn match_wall_clock(code: &[&Token]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |k: usize, text: &str| matches!(code.get(i + k), Some(c) if c.text == text);
+        if t.text == "Instant" && next_is(1, "::") && next_is(2, "now") {
+            hits.push((
+                t.line,
+                t.col,
+                "`Instant::now()` reads the wall clock".to_string(),
+            ));
+        } else if t.text == "SystemTime" {
+            hits.push((
+                t.line,
+                t.col,
+                "`SystemTime` reads the wall clock".to_string(),
+            ));
+        } else if t.text == "thread" && next_is(1, "::") && next_is(2, "sleep") {
+            hits.push((
+                t.line,
+                t.col,
+                "`thread::sleep` makes behavior timing-dependent".to_string(),
+            ));
+        }
+    }
+    hits
+}
+
+fn match_float_accum(code: &[&Token], float_bindings: &[String]) -> Vec<Hit> {
+    let is_float = |name: &str| {
+        float_bindings
+            .binary_search_by(|b| b.as_str().cmp(name))
+            .is_ok()
+    };
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        // `x += …` where x is a known f32/f64 binding or field.
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), "+=" | "-=" | "*=" | "/=") {
+            if let Some(lhs) = code.get(i.wrapping_sub(1)) {
+                if lhs.kind == TokenKind::Ident && is_float(&lhs.text) {
+                    hits.push((
+                        lhs.line,
+                        lhs.col,
+                        format!(
+                            "float compound assignment `{} {}` accumulates in addition order",
+                            lhs.text, t.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // `.sum::<f64>()` / `.product::<f32>()`.
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "sum" | "product")
+            && matches!(code.get(i.wrapping_sub(1)), Some(c) if c.kind == TokenKind::Punct && c.text == ".")
+            && matches!(code.get(i + 1), Some(c) if c.kind == TokenKind::Punct && c.text == "::")
+            && matches!(code.get(i + 2), Some(c) if c.kind == TokenKind::Punct && c.text == "<")
+            && matches!(code.get(i + 3), Some(c) if c.kind == TokenKind::Ident && (c.text == "f32" || c.text == "f64"))
+        {
+            hits.push((
+                t.line,
+                t.col,
+                format!("`.{}::<float>()` folds in iterator order", t.text),
+            ));
+        }
+        // `let x: f64 = ….sum();` — float-annotated sum via inference.
+        if t.kind == TokenKind::Ident
+            && matches!(t.text.as_str(), "sum" | "product")
+            && matches!(code.get(i.wrapping_sub(1)), Some(c) if c.kind == TokenKind::Punct && c.text == ".")
+            && matches!(code.get(i + 1), Some(c) if c.kind == TokenKind::Punct && c.text == "(")
+            && matches!(code.get(i + 2), Some(c) if c.kind == TokenKind::Punct && c.text == ")")
+        {
+            // Look back a bounded distance for `: f64 =` / `: f32 =` on
+            // the same statement.
+            let lo = i.saturating_sub(30);
+            let stmt_start = (lo..i)
+                .rev()
+                .find(|&k| code[k].kind == TokenKind::Punct && code[k].text == ";")
+                .map_or(lo, |k| k + 1);
+            let annotated = (stmt_start..i).any(|k| {
+                code[k].kind == TokenKind::Ident
+                    && (code[k].text == "f32" || code[k].text == "f64")
+                    && matches!(code.get(k.wrapping_sub(1)), Some(c) if c.kind == TokenKind::Punct && c.text == ":")
+            });
+            if annotated {
+                hits.push((
+                    t.line,
+                    t.col,
+                    format!("float-annotated `.{}()` folds in iterator order", t.text),
+                ));
+            }
+        }
+    }
+    hits
+}
+
+/// Numeric types an `as` cast can truncate or round into.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+fn match_as_cast(code: &[&Token]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind == TokenKind::Ident
+            && t.text == "as"
+            && matches!(code.get(i + 1), Some(c) if c.kind == TokenKind::Ident && NUMERIC_TYPES.contains(&c.text.as_str()))
+        {
+            let ty = &code[i + 1].text;
+            hits.push((
+                t.line,
+                t.col,
+                format!("`as {ty}` cast in a binary codec: prove it cannot truncate or use `From`/`try_from`"),
+            ));
+        }
+    }
+    hits
+}
+
+fn match_unwrap_panic(code: &[&Token]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let after_dot = matches!(code.get(i.wrapping_sub(1)), Some(c) if c.kind == TokenKind::Punct && c.text == ".");
+        let before_paren =
+            matches!(code.get(i + 1), Some(c) if c.kind == TokenKind::Punct && c.text == "(");
+        let before_bang =
+            matches!(code.get(i + 1), Some(c) if c.kind == TokenKind::Punct && c.text == "!");
+        if after_dot && before_paren && matches!(t.text.as_str(), "unwrap" | "expect") {
+            hits.push((
+                t.line,
+                t.col,
+                format!(
+                    "`.{}()` can panic on hostile input; return a typed `IngestError`",
+                    t.text
+                ),
+            ));
+        }
+        if before_bang
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+        {
+            hits.push((
+                t.line,
+                t.col,
+                format!(
+                    "`{}!` can panic on hostile input; return a typed `IngestError`",
+                    t.text
+                ),
+            ));
+        }
+    }
+    hits
+}

@@ -1,0 +1,399 @@
+//! Per-rule fixture tests: for every rule, a positive fixture (the rule
+//! fires), a negative fixture (it stays silent), a waived fixture (the
+//! finding is reported but silenced), and an unused-waiver fixture (a
+//! waiver that silences nothing is itself a finding).
+//!
+//! Fixtures are inline source strings analyzed under the tier path that
+//! enables the rule, so these tests pin both the matchers and the
+//! per-crate policy table.
+
+use rideshare_audit::rules::{
+    self, analyze_source, AS_CAST, BAD_WAIVER, FLOAT_ACCUM, ITER_ORDER, UNUSED_WAIVER,
+    UNWRAP_PANIC, WALL_CLOCK,
+};
+
+/// Paths that put each rule in scope (see `policy::rules_for`).
+const ITER_PATH: &str = "crates/core/src/streaming.rs";
+const CLOCK_PATH: &str = "crates/online/src/serve.rs";
+const FLOAT_PATH: &str = "crates/metrics/src/stream_stats.rs";
+const CAST_PATH: &str = "crates/trace/src/wire.rs";
+const UNWRAP_PATH: &str = "crates/online/src/ingest.rs";
+
+fn unwaived(rel: &str, src: &str, rule: &str) -> Vec<rules::Finding> {
+    analyze_source(rel, src)
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == rule && !f.waived)
+        .collect()
+}
+
+fn waived(rel: &str, src: &str, rule: &str) -> Vec<rules::Finding> {
+    analyze_source(rel, src)
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == rule && f.waived)
+        .collect()
+}
+
+// ---------------------------------------------------------------- iter-order
+
+#[test]
+fn iter_order_positive() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (k, v) in m.iter() { acc += k + v; }
+    for k in &m { acc += k.0; }
+    acc + m.keys().count() as u32
+}
+"#;
+    let hits = unwaived(ITER_PATH, src, ITER_ORDER);
+    assert_eq!(hits.len(), 3, "iter(), for-in, keys(): {hits:?}");
+    assert!(hits.iter().all(|f| f.path == ITER_PATH));
+    assert!(hits[0].message.contains("hash order"));
+}
+
+#[test]
+fn iter_order_negative_keyed_lookup() {
+    // Keyed access and entry() are order-free; BTreeMap iteration is fine.
+    let src = r#"
+use std::collections::{BTreeMap, HashMap};
+fn f(m: &mut HashMap<u32, u32>, b: &BTreeMap<u32, u32>) -> u32 {
+    *m.entry(3).or_insert(0) += 1;
+    let hit = m.get(&3).copied().unwrap_or(0);
+    hit + b.iter().map(|(k, _)| k).sum::<u32>()
+}
+"#;
+    assert!(unwaived(ITER_PATH, src, ITER_ORDER).is_empty());
+}
+
+#[test]
+fn iter_order_negative_out_of_tier() {
+    // Same hazard outside the dispatch tier: the rule is not in scope.
+    let src = "fn f(m: std::collections::HashMap<u32, u32>) -> usize { m.keys().count() }";
+    assert!(unwaived("crates/bench/src/lib.rs", src, ITER_ORDER).is_empty());
+}
+
+#[test]
+fn iter_order_waived() {
+    let src = r#"
+use std::collections::HashMap;
+fn f(m: HashMap<u32, u32>) -> u64 {
+    // audit:allow(iter-order): the fold is commutative, so hash order cannot change the sum.
+    m.values().map(|&v| u64::from(v)).sum()
+}
+"#;
+    assert!(unwaived(ITER_PATH, src, ITER_ORDER).is_empty());
+    let w = waived(ITER_PATH, src, ITER_ORDER);
+    assert_eq!(w.len(), 1);
+    assert!(w[0].reason.as_deref().unwrap().contains("commutative"));
+    // The waiver is used, so no unused-waiver meta-finding.
+    assert!(unwaived(ITER_PATH, src, UNUSED_WAIVER).is_empty());
+}
+
+#[test]
+fn iter_order_waiver_unused() {
+    let src = r#"
+fn f() -> u32 {
+    // audit:allow(iter-order): stale waiver left behind after a refactor.
+    1 + 2
+}
+"#;
+    let meta = unwaived(ITER_PATH, src, UNUSED_WAIVER);
+    assert_eq!(meta.len(), 1, "{meta:?}");
+    assert!(meta[0].message.contains("silences nothing"));
+}
+
+// ---------------------------------------------------------------- wall-clock
+
+#[test]
+fn wall_clock_positive() {
+    let src = r#"
+fn f() -> u128 {
+    let t0 = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t0.elapsed().as_nanos()
+}
+"#;
+    let hits = unwaived(CLOCK_PATH, src, WALL_CLOCK);
+    assert_eq!(hits.len(), 3, "{hits:?}");
+}
+
+#[test]
+fn wall_clock_negative() {
+    // Stream time from the events themselves is the sanctioned clock.
+    let src = r#"
+fn f(event_time_secs: u64, horizon: u64) -> bool {
+    event_time_secs + 30 < horizon
+}
+"#;
+    assert!(unwaived(CLOCK_PATH, src, WALL_CLOCK).is_empty());
+}
+
+#[test]
+fn wall_clock_negative_bench_exempt() {
+    let src = "fn f() -> std::time::Instant { std::time::Instant::now() }";
+    assert!(unwaived("crates/bench/src/lib.rs", src, WALL_CLOCK).is_empty());
+}
+
+#[test]
+fn wall_clock_waived_trailing() {
+    // Trailing waiver on the same line as the finding.
+    let src = "fn f() { std::thread::sleep(D); } // audit:allow(wall-clock): paces a live tail, never feeds dispatch.\nconst D: std::time::Duration = std::time::Duration::from_millis(1);\n";
+    assert!(unwaived(CLOCK_PATH, src, WALL_CLOCK).is_empty());
+    assert_eq!(waived(CLOCK_PATH, src, WALL_CLOCK).len(), 1);
+}
+
+#[test]
+fn wall_clock_waiver_unused() {
+    let src = r#"
+// audit:allow(wall-clock): there is no clock read here at all.
+fn f() -> u32 { 7 }
+"#;
+    assert_eq!(unwaived(CLOCK_PATH, src, UNUSED_WAIVER).len(), 1);
+}
+
+// ---------------------------------------------------------------- float-accum
+
+#[test]
+fn float_accum_positive() {
+    let src = r#"
+fn f(xs: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    for x in xs { total += x; }
+    let direct = xs.iter().copied().sum::<f64>();
+    let annotated: f64 = xs.iter().copied().sum();
+    total + direct + annotated
+}
+"#;
+    let hits = unwaived(FLOAT_PATH, src, FLOAT_ACCUM);
+    assert_eq!(
+        hits.len(),
+        3,
+        "compound-assign, turbofish, annotated: {hits:?}"
+    );
+}
+
+#[test]
+fn float_accum_negative_integer() {
+    // Integer accumulation is exact; the fixed-point grid is the fix.
+    let src = r#"
+fn f(xs: &[u32]) -> u64 {
+    let mut total: i128 = 0;
+    for &x in xs { total += i128::from(x); }
+    let n: u64 = xs.iter().map(|&x| u64::from(x)).sum();
+    total as u64 + n
+}
+"#;
+    assert!(unwaived(FLOAT_PATH, src, FLOAT_ACCUM).is_empty());
+}
+
+#[test]
+fn float_accum_negative_out_of_tier() {
+    let src = "fn f(xs: &[f64]) -> f64 { xs.iter().copied().sum::<f64>() }";
+    assert!(unwaived(ITER_PATH, src, FLOAT_ACCUM).is_empty());
+}
+
+#[test]
+fn float_accum_waived() {
+    let src = r#"
+fn f(xs: &[f64]) -> f64 {
+    // audit:allow(float-accum): diagnostic display value only, never compared or pinned.
+    xs.iter().copied().sum::<f64>()
+}
+"#;
+    assert!(unwaived(FLOAT_PATH, src, FLOAT_ACCUM).is_empty());
+    assert_eq!(waived(FLOAT_PATH, src, FLOAT_ACCUM).len(), 1);
+}
+
+#[test]
+fn float_accum_waiver_unused() {
+    let src = r#"
+fn f(xs: &[u64]) -> u64 {
+    // audit:allow(float-accum): nothing floats here.
+    xs.iter().sum()
+}
+"#;
+    assert_eq!(unwaived(FLOAT_PATH, src, UNUSED_WAIVER).len(), 1);
+}
+
+// ------------------------------------------------------------------- as-cast
+
+#[test]
+fn as_cast_positive() {
+    let src = r#"
+fn f(n: usize, x: u64) -> (u32, usize) {
+    (n as u32, x as usize)
+}
+"#;
+    let hits = unwaived(CAST_PATH, src, AS_CAST);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits[0].message.contains("truncate"));
+}
+
+#[test]
+fn as_cast_negative_lossless_conversions() {
+    // From/try_from conversions and non-numeric `as` are out of scope.
+    let src = r#"
+fn f(n: u8, x: u64) -> (u64, u32, &'static str) {
+    let wide = u64::from(n);
+    let narrow = u32::try_from(x).unwrap_or(0);
+    (wide, narrow, "as" as &'static str)
+}
+"#;
+    assert!(unwaived(CAST_PATH, src, AS_CAST).is_empty());
+}
+
+#[test]
+fn as_cast_negative_out_of_tier() {
+    // The cast tier is exactly the two codec files.
+    let src = "fn f(n: usize) -> u32 { n as u32 }";
+    assert!(unwaived("crates/trace/src/gen.rs", src, AS_CAST).is_empty());
+}
+
+#[test]
+fn as_cast_waived() {
+    let src = r#"
+fn f(n: usize) -> u64 {
+    // audit:allow(as-cast): usize -> u64 widens losslessly on every supported target.
+    n as u64
+}
+"#;
+    assert!(unwaived(CAST_PATH, src, AS_CAST).is_empty());
+    assert_eq!(waived(CAST_PATH, src, AS_CAST).len(), 1);
+}
+
+#[test]
+fn as_cast_waiver_unused() {
+    let src = r#"
+fn f(n: u64) -> u64 {
+    // audit:allow(as-cast): no cast on this line any more.
+    n + 1
+}
+"#;
+    assert_eq!(unwaived(CAST_PATH, src, UNUSED_WAIVER).len(), 1);
+}
+
+// -------------------------------------------------------------- unwrap-panic
+
+#[test]
+fn unwrap_panic_positive() {
+    let src = r#"
+fn f(s: &str) -> u32 {
+    let n: u32 = s.parse().unwrap();
+    let m: u32 = s.parse().expect("digits");
+    if n > m { panic!("inverted"); }
+    n + m
+}
+"#;
+    let hits = unwaived(UNWRAP_PATH, src, UNWRAP_PANIC);
+    assert_eq!(hits.len(), 3, "{hits:?}");
+}
+
+#[test]
+fn unwrap_panic_negative_typed_errors() {
+    // `unwrap_or` / `?` / matching are the sanctioned shapes.
+    let src = r#"
+fn f(s: &str) -> Result<u32, std::num::ParseIntError> {
+    let n: u32 = s.parse().unwrap_or(0);
+    let m: u32 = s.parse()?;
+    Ok(n + m)
+}
+"#;
+    assert!(unwaived(UNWRAP_PATH, src, UNWRAP_PANIC).is_empty());
+}
+
+#[test]
+fn unwrap_panic_negative_in_tests() {
+    // Test modules may unwrap freely.
+    let src = r#"
+fn f() -> u32 { 1 }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let n: u32 = "3".parse().unwrap();
+        assert_eq!(n, 3);
+    }
+}
+"#;
+    assert!(unwaived(UNWRAP_PATH, src, UNWRAP_PANIC).is_empty());
+}
+
+#[test]
+fn unwrap_panic_waived() {
+    let src = r#"
+fn f(v: &[u32]) -> u32 {
+    // audit:allow(unwrap-panic): construction contract documented in the Panics section; hostile bytes cannot reach it.
+    *v.first().expect("caller guarantees non-empty")
+}
+"#;
+    assert!(unwaived(UNWRAP_PATH, src, UNWRAP_PANIC).is_empty());
+    assert_eq!(waived(UNWRAP_PATH, src, UNWRAP_PANIC).len(), 1);
+}
+
+#[test]
+fn unwrap_panic_waiver_unused() {
+    let src = r#"
+fn f(v: &[u32]) -> Option<u32> {
+    // audit:allow(unwrap-panic): converted to Option, waiver now stale.
+    v.first().copied()
+}
+"#;
+    assert_eq!(unwaived(UNWRAP_PATH, src, UNUSED_WAIVER).len(), 1);
+}
+
+// ---------------------------------------------------------------- bad-waiver
+
+#[test]
+fn bad_waiver_unknown_rule() {
+    let src = "// audit:allow(made-up-rule): whatever.\nfn f() {}\n";
+    let hits = unwaived(CLOCK_PATH, src, BAD_WAIVER);
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].message.contains("unknown rule"));
+}
+
+#[test]
+fn bad_waiver_missing_reason() {
+    let src = "// audit:allow(wall-clock)\nfn f() {}\n";
+    let hits = unwaived(CLOCK_PATH, src, BAD_WAIVER);
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].message.contains("mandatory"));
+}
+
+#[test]
+fn bad_waiver_empty_reason() {
+    let src = "// audit:allow(wall-clock):   \nfn f() {}\n";
+    let hits = unwaived(CLOCK_PATH, src, BAD_WAIVER);
+    assert_eq!(hits.len(), 1);
+    assert!(hits[0].message.contains("empty reason"));
+}
+
+#[test]
+fn doc_comments_never_register_waivers() {
+    // Doc comments describe the syntax; they must not waive or be
+    // reported as bad waivers.
+    let src = r#"
+//! Write `// audit:allow(wall-clock): why` above the clock read.
+/// Uses `audit:allow(not-even-a-rule)` in prose.
+fn f() { let _ = std::time::Instant::now(); }
+"#;
+    assert!(unwaived(CLOCK_PATH, src, BAD_WAIVER).is_empty());
+    assert!(unwaived(CLOCK_PATH, src, UNUSED_WAIVER).is_empty());
+    // The clock read itself is still found — nothing waived it.
+    assert_eq!(unwaived(CLOCK_PATH, src, WALL_CLOCK).len(), 1);
+}
+
+// -------------------------------------------------------- report plumbing
+
+#[test]
+fn findings_carry_location_and_excerpt() {
+    let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+    let hits = unwaived(CLOCK_PATH, src, WALL_CLOCK);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].line, 2);
+    assert!(hits[0].col > 1);
+    assert_eq!(hits[0].excerpt, "    let t = std::time::Instant::now();");
+}

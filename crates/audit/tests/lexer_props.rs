@@ -1,0 +1,290 @@
+//! Lexer hard cases, deterministic and property-tested.
+//!
+//! The auditor's verdicts are only as good as its lexer: a raw string
+//! that swallows the rest of the file, or a lifetime read as an
+//! unterminated char literal, silently turns real code into "string
+//! contents" the rules never see. These tests pin the four classic
+//! traps — raw strings, nested block comments, lifetime/char-literal
+//! ambiguity, and `audit:allow` placement — then fuzz random pastings of
+//! hard fragments with the vendored proptest shim.
+
+use proptest::prelude::*;
+use rideshare_audit::lexer::{lex, TokenKind};
+use rideshare_audit::rules::analyze_source;
+
+/// Source with all whitespace removed — the lexer is total, so the
+/// concatenated token texts must preserve every non-whitespace byte.
+fn squash(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+fn lossless(src: &str) {
+    let tokens = lex(src);
+    let joined: String = tokens.iter().map(|t| t.text.as_str()).collect();
+    assert_eq!(
+        squash(&joined),
+        squash(src),
+        "lexer dropped or invented bytes for {src:?}"
+    );
+}
+
+// ------------------------------------------------------------ raw strings
+
+#[test]
+fn raw_strings_any_hash_depth() {
+    for hashes in 0..=4 {
+        let h = "#".repeat(hashes);
+        // The payload contains a quote followed by one hash fewer than
+        // the delimiter, which must NOT terminate the string.
+        let inner = if hashes > 0 {
+            format!("quote \" then {}", "#".repeat(hashes - 1))
+        } else {
+            "plain payload".to_string()
+        };
+        let src = format!("let s = r{h}\"{inner}\"{h}; let after = 1;");
+        let tokens = lex(&src);
+        let strs: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::StrLit)
+            .collect();
+        assert_eq!(strs.len(), 1, "hashes={hashes}: {tokens:?}");
+        assert!(strs[0].text.contains(&inner));
+        // Code after the raw string is still seen as code.
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "after"));
+        lossless(&src);
+    }
+}
+
+#[test]
+fn byte_and_c_raw_string_prefixes() {
+    for prefix in ["b", "br", "c", "cr", "br#\u{0}#"] {
+        // The last entry is not a valid prefix — splice real ones only.
+        if prefix.contains('\u{0}') {
+            continue;
+        }
+        let src = format!("let s = {prefix}\"body // not a comment\"; let x = 1;");
+        let tokens = lex(&src);
+        assert!(
+            !tokens.iter().any(|t| t.kind == TokenKind::LineComment),
+            "{prefix}: `//` inside the string must not open a comment"
+        );
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "x"));
+    }
+}
+
+#[test]
+fn raw_identifier_is_not_a_raw_string() {
+    let src = "let r#type = 3; let r#fn = r#type;";
+    let tokens = lex(src);
+    assert!(tokens.iter().all(|t| t.kind != TokenKind::StrLit));
+    assert!(tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == "r#type"));
+}
+
+#[test]
+fn unterminated_raw_string_extends_to_eof_without_panic() {
+    let src = "let s = r##\"never closed\"# still inside";
+    let tokens = lex(src);
+    let last = tokens.last().unwrap();
+    assert_eq!(last.kind, TokenKind::StrLit);
+    assert!(last.text.ends_with("still inside"));
+}
+
+// ------------------------------------------------------- nested comments
+
+#[test]
+fn block_comments_nest() {
+    let src = "a /* one /* two /* three */ two */ one */ b";
+    let tokens = lex(src);
+    let idents: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(idents, ["a", "b"]);
+    let comments: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::BlockComment)
+        .collect();
+    assert_eq!(comments.len(), 1);
+    assert!(comments[0].text.contains("three"));
+}
+
+#[test]
+fn comment_openers_inside_strings_do_not_comment() {
+    let src = "let s = \"/* not a comment */\"; let t = 1; // real\n";
+    let tokens = lex(src);
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::BlockComment)
+            .count(),
+        0
+    );
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::LineComment)
+            .count(),
+        1
+    );
+}
+
+// --------------------------------------------- lifetimes vs char literals
+
+#[test]
+fn lifetimes_and_char_literals_disambiguate() {
+    let src = "fn f<'a>(x: &'a str) -> char { let c = 'a'; let q = '\\''; let nl = '\\n'; c }";
+    let tokens = lex(src);
+    let lifetimes: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    let chars: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::CharLit)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'a"]);
+    assert_eq!(chars, ["'a'", "'\\''", "'\\n'"]);
+    lossless(src);
+}
+
+#[test]
+fn static_lifetime_and_label() {
+    let src = "fn f(s: &'static str) { 'outer: loop { break 'outer; } }";
+    let tokens = lex(src);
+    let lifetimes: Vec<_> = tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'static", "'outer", "'outer"]);
+}
+
+// --------------------------------------------------- audit:allow placement
+
+#[test]
+fn waiver_placement_trailing_vs_standalone() {
+    // Trailing covers its own line; standalone covers the next code
+    // line, skipping blank and comment-only lines in between.
+    let src = "\
+fn f() {
+    let a = std::time::Instant::now(); // audit:allow(wall-clock): trailing.
+
+    // audit:allow(wall-clock): standalone, blank line above, comment below.
+    // just prose
+    let b = std::time::Instant::now();
+}
+";
+    let analysis = analyze_source("crates/online/src/serve.rs", src);
+    let unwaived: Vec<_> = analysis.findings.iter().filter(|f| !f.waived).collect();
+    assert!(unwaived.is_empty(), "{unwaived:?}");
+    assert_eq!(analysis.waivers.len(), 2);
+    assert_eq!(analysis.waivers[0].target_line, 2);
+    assert_eq!(analysis.waivers[1].target_line, 6);
+}
+
+#[test]
+fn waiver_inside_string_is_inert() {
+    let src =
+        "fn f() { let s = \"audit:allow(wall-clock): fake\"; let t = std::time::Instant::now(); }";
+    let analysis = analyze_source("crates/online/src/serve.rs", src);
+    assert!(analysis.waivers.is_empty());
+    assert_eq!(analysis.findings.iter().filter(|f| !f.waived).count(), 1);
+}
+
+#[test]
+fn waiver_in_block_comment_form() {
+    let src = "fn f() {\n    /* audit:allow(wall-clock): block form works too. */\n    let t = std::time::Instant::now();\n}\n";
+    let analysis = analyze_source("crates/online/src/serve.rs", src);
+    assert_eq!(analysis.waivers.len(), 1);
+    assert!(analysis.findings.iter().all(|f| f.waived));
+}
+
+// ------------------------------------------------------------- properties
+
+/// Hard fragments the generators splice together. Each is standalone
+/// valid Rust-ish surface syntax the lexer must cross cleanly.
+const FRAGMENTS: &[&str] = &[
+    "let x = 1;",
+    "r\"raw\"",
+    "r#\"ra\"w\"#",
+    "br##\"b\"#raw\"##",
+    "/* nested /* deep */ out */",
+    "// line comment\n",
+    "'a'",
+    "'\\''",
+    "&'static str",
+    "'label: loop { break 'label; }",
+    "\"str with \\\" escape\"",
+    "0..10",
+    "1.5e-3",
+    "0xff_u8",
+    "m.iter()",
+    "#[cfg(test)]",
+    "r#struct",
+    "b'\\n'",
+    "x += 1;",
+    "a::<f64>()",
+];
+
+fn paste(picks: &[usize], seps: &[usize]) -> String {
+    let sep_pool = [" ", "\n", "\t", "\n\n", " \n "];
+    let mut out = String::new();
+    for (i, &p) in picks.iter().enumerate() {
+        out.push_str(FRAGMENTS[p % FRAGMENTS.len()]);
+        out.push_str(sep_pool[seps.get(i).copied().unwrap_or(0) % sep_pool.len()]);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Random pastings of hard fragments: the lexer never panics, never
+    // loses a byte, and is deterministic.
+    #[test]
+    fn pasted_fragments_lex_losslessly(
+        picks in collection::vec(0usize..FRAGMENTS.len(), 1..12),
+        seps in collection::vec(0usize..5, 12),
+    ) {
+        let src = paste(&picks, &seps);
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(&a, &b);
+        let joined: String = a.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(squash(&joined), squash(&src));
+    }
+
+    // Arbitrary garbage bytes (valid UTF-8 via lossy conversion): the
+    // lexer is total — no panics, no byte loss outside whitespace.
+    #[test]
+    fn garbage_never_panics(bytes in collection::vec(0u8..=255, 0..200)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let tokens = lex(&src);
+        let joined: String = tokens.iter().map(|t| t.text.as_str()).collect();
+        prop_assert_eq!(squash(&joined), squash(&src));
+    }
+
+    // Line/col coordinates always point inside the source.
+    #[test]
+    fn coordinates_stay_in_bounds(
+        picks in collection::vec(0usize..FRAGMENTS.len(), 1..10),
+        seps in collection::vec(0usize..5, 10),
+    ) {
+        let src = paste(&picks, &seps);
+        let lines: Vec<&str> = src.lines().collect();
+        for t in lex(&src) {
+            let line = lines.get(t.line as usize - 1);
+            prop_assert!(line.is_some(), "token {t:?} beyond last line");
+            prop_assert!(t.col >= 1);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The workspace baseline: zero unwaived findings, zero unused
+//! waivers, stable canonical JSON.
+//!
+//! This is the same gate CI runs as `rideshare audit --check`, pinned
+//! as a test so `cargo test` alone catches a regression — a new
+//! `HashMap` iteration in dispatch code, a stray `unwrap` in ingest,
+//! or a waiver left behind by a refactor — without waiting for CI.
+
+use rideshare_audit::run_audit;
+use std::path::{Path, PathBuf};
+
+/// The workspace root, two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/audit sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_unwaived_findings() {
+    let report = run_audit(&workspace_root()).expect("audit runs");
+    let unwaived: Vec<_> = report.unwaived().collect();
+    assert!(
+        unwaived.is_empty(),
+        "the workspace must stay audit-clean; fix or waive (with a reason):\n{}",
+        unwaived
+            .iter()
+            .map(|f| format!(
+                "  {}:{}:{} [{}] {}",
+                f.path, f.line, f.col, f.rule, f.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_report_is_byte_stable() {
+    let root = workspace_root();
+    let a = run_audit(&root).expect("audit runs").to_canonical_json();
+    let b = run_audit(&root).expect("audit runs").to_canonical_json();
+    assert_eq!(a, b, "canonical JSON must be deterministic per tree");
+    assert!(a.starts_with("{\"schema\":\"rideshare-audit/1\""));
+}
+
+#[test]
+fn every_waiver_in_the_tree_is_load_bearing() {
+    // `unused-waiver` findings are unwaived findings themselves, so the
+    // zero-unwaived test already implies this — but when it fires, this
+    // message says what actually went stale.
+    let report = run_audit(&workspace_root()).expect("audit runs");
+    let stale: Vec<_> = report
+        .unwaived()
+        .filter(|f| f.rule == "unused-waiver" || f.rule == "bad-waiver")
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale or malformed waivers:\n{}",
+        stale
+            .iter()
+            .map(|f| format!("  {}:{} {}", f.path, f.line, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -368,13 +368,13 @@ fn dynamic_multipliers(trace: &Trace, opts: &MarketBuildOptions, window: TimeDel
     let grid: GridIndex<u32> = GridIndex::new(trace.bbox, rows, cols);
 
     // Per-cell FIFO of recent publish times (trips arrive publish-sorted).
-    let mut recent: std::collections::HashMap<
+    let mut recent: std::collections::BTreeMap<
         rideshare_geo::CellId,
         std::collections::VecDeque<Timestamp>,
-    > = std::collections::HashMap::new();
+    > = std::collections::BTreeMap::new();
     // Per-cell driver shifts.
-    let mut shifts: std::collections::HashMap<rideshare_geo::CellId, Vec<(Timestamp, Timestamp)>> =
-        std::collections::HashMap::new();
+    let mut shifts: std::collections::BTreeMap<rideshare_geo::CellId, Vec<(Timestamp, Timestamp)>> =
+        std::collections::BTreeMap::new();
     for d in &trace.drivers {
         shifts
             .entry(grid.cell_of(d.source))

@@ -192,7 +192,7 @@ pub fn disjoint_components_sharded(market: &Market, threads: usize) -> Vec<SubMa
     }
 
     // Group members by root, preserving the driver-then-task global order.
-    let mut root_slot: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut root_slot: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
     let mut drivers_of: Vec<Vec<usize>> = Vec::new();
     let mut tasks_of: Vec<Vec<usize>> = Vec::new();
     for d in 0..n {

@@ -49,7 +49,7 @@
 //! assert_eq!(streamed, market.tasks());
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -74,10 +74,10 @@ pub struct StreamPricer {
     window: Option<TimeDelta>,
     grid: GridIndex<u32>,
     /// Per-cell FIFO of recent publish times (trips arrive publish-sorted).
-    recent: HashMap<CellId, VecDeque<Timestamp>>,
+    recent: BTreeMap<CellId, VecDeque<Timestamp>>,
     /// Per-cell driver shifts (supply is "shift covers the publish instant
     /// and home cell is here", as in the materialised dynamic pricer).
-    shifts: HashMap<CellId, Vec<(Timestamp, Timestamp)>>,
+    shifts: BTreeMap<CellId, Vec<(Timestamp, Timestamp)>>,
     last_publish: Option<Timestamp>,
 }
 
@@ -93,7 +93,7 @@ impl StreamPricer {
     ) -> Self {
         let (rows, cols) = opts.surge_grid;
         let grid: GridIndex<u32> = GridIndex::new(bbox, rows, cols);
-        let mut shifts: HashMap<CellId, Vec<(Timestamp, Timestamp)>> = HashMap::new();
+        let mut shifts: BTreeMap<CellId, Vec<(Timestamp, Timestamp)>> = BTreeMap::new();
         for d in drivers {
             shifts
                 .entry(grid.cell_of(d.source))
@@ -108,7 +108,7 @@ impl StreamPricer {
             speed,
             window: opts.surge_window,
             grid,
-            recent: HashMap::new(),
+            recent: BTreeMap::new(),
             shifts,
             last_publish: None,
         }

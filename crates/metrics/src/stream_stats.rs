@@ -96,22 +96,22 @@ impl Error for SnapshotError {}
 /// `(a + b) + c` are the same integer — the property that makes
 /// [`StreamMetrics::merge`] exact (see the module docs).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-struct FixedSum(i128);
+pub(crate) struct FixedSum(pub(crate) i128);
 
 /// 2⁴⁰: ~9.1 × 10⁻¹³ resolution per addend.
 const FIXED_SCALE: f64 = (1u64 << 40) as f64;
 
 impl FixedSum {
-    fn add(&mut self, x: f64) {
+    pub(crate) fn add(&mut self, x: f64) {
         debug_assert!(x.is_finite(), "non-finite metric value");
         self.0 += (x * FIXED_SCALE).round() as i128;
     }
 
-    fn merge(&mut self, other: FixedSum) {
+    pub(crate) fn merge(&mut self, other: FixedSum) {
         self.0 += other.0;
     }
 
-    fn as_f64(self) -> f64 {
+    pub(crate) fn as_f64(self) -> f64 {
         self.0 as f64 / FIXED_SCALE
     }
 }
@@ -330,7 +330,13 @@ impl StreamMetrics {
     #[must_use]
     pub fn mean_income_per_active_driver(&self) -> Option<f64> {
         let active = self.active_drivers();
-        (active > 0).then(|| self.income.iter().map(|i| i.as_f64()).sum::<f64>() / active as f64)
+        // Sum exactly in the i128 fixed-point domain, convert once: the
+        // mean inherits the accumulators' order-independence.
+        let mut total = FixedSum::default();
+        for i in &self.income {
+            total.merge(*i);
+        }
+        (active > 0).then(|| total.as_f64() / active as f64)
     }
 
     /// Mean served tasks per active driver (Fig. 9's metric).
@@ -338,11 +344,9 @@ impl StreamMetrics {
     pub fn mean_tasks_per_active_driver(&self) -> Option<f64> {
         let active = self.active_drivers();
         (active > 0).then(|| {
-            self.tasks_per_driver
-                .iter()
-                .map(|&n| f64::from(n))
-                .sum::<f64>()
-                / active as f64
+            // Integer sum is exact; one final division is order-free.
+            let total: u64 = self.tasks_per_driver.iter().map(|&n| u64::from(n)).sum();
+            total as f64 / active as f64
         })
     }
 

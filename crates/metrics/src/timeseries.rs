@@ -46,13 +46,20 @@ impl HourlyBreakdown {
     #[must_use]
     pub fn of(market: &Market, result: &SimulationResult) -> Self {
         let mut buckets = [HourBucket::default(); 24];
+        // Revenue accumulates on the crate's i128 fixed-point grid (the
+        // PR 5 contract): the total is exact and order-independent, and
+        // each bucket converts to `f64` exactly once at the end.
+        let mut revenue = [crate::stream_stats::FixedSum::default(); 24];
         for (i, task) in market.tasks().iter().enumerate() {
             let hour = (task.publish_time.as_secs().div_euclid(3600)).clamp(0, 23) as usize;
             buckets[hour].published += 1;
             if result.dispatch.get(i).copied().flatten().is_some() {
                 buckets[hour].served += 1;
-                buckets[hour].revenue += task.price.as_f64();
+                revenue[hour].add(task.price.as_f64());
             }
+        }
+        for (b, r) in buckets.iter_mut().zip(revenue) {
+            b.revenue = r.as_f64();
         }
         Self { buckets }
     }

@@ -304,6 +304,7 @@ impl IngestSource for FileSource {
                     if self.shutdown_requested() {
                         return Ok(None);
                     }
+                    // audit:allow(wall-clock): the tail-poll backoff is a documented ingestion timing edge — it paces how fast a live tail notices growth and never feeds a timestamp into dispatch (stream time comes from the events themselves).
                     std::thread::sleep(POLL);
                     continue;
                 }

@@ -410,6 +410,7 @@ impl<'p> ServeDaemon<'p> {
         } else {
             let partitioner = self
                 .partitioner
+                // audit:allow(unwrap-panic): construction contract, not feed input — `run`'s Panics section documents it, and no hostile byte stream can reach this branch (the partitioner is fixed before ingestion starts).
                 .expect("serving more than one shard requires a partitioner");
             let guarded = GuardedEvents {
                 source,

@@ -9,7 +9,7 @@
 //! rising sub-linearly with excess demand, capped by policy.
 
 use rideshare_geo::CellId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parameters of the surge curve `α = clamp((D / max(S, 1))^exponent, 1, cap)`.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -88,8 +88,8 @@ impl Default for SurgeConfig {
 #[derive(Clone, Debug)]
 pub struct SurgeEngine {
     config: SurgeConfig,
-    demand: HashMap<CellId, u32>,
-    supply: HashMap<CellId, u32>,
+    demand: BTreeMap<CellId, u32>,
+    supply: BTreeMap<CellId, u32>,
 }
 
 impl SurgeEngine {
@@ -104,8 +104,8 @@ impl SurgeEngine {
         assert!(config.cap >= 1.0, "surge cap below 1");
         Self {
             config,
-            demand: HashMap::new(),
-            supply: HashMap::new(),
+            demand: BTreeMap::new(),
+            supply: BTreeMap::new(),
         }
     }
 

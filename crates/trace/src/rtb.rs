@@ -165,6 +165,7 @@ pub fn encode_header(count: u64) -> [u8; HEADER_LEN] {
 pub fn decode_header(bytes: &[u8]) -> Result<u64, RtbError> {
     let Some(h) = bytes.get(..HEADER_LEN) else {
         return Err(RtbError::Truncated {
+            // audit:allow(as-cast): usize -> u64 widens losslessly on every supported target (usize is at most 64 bits); byte offsets in diagnostics only.
             offset: bytes.len() as u64,
         });
     };
@@ -313,6 +314,7 @@ impl<'a> RtbSlice<'a> {
         }
         let Some(&tag) = self.data.get(self.pos) else {
             return Err(RtbError::Truncated {
+                // audit:allow(as-cast): usize -> u64 widens losslessly on every supported target (usize is at most 64 bits); byte offsets in diagnostics only.
                 offset: self.pos as u64,
             });
         };
@@ -322,6 +324,7 @@ impl<'a> RtbSlice<'a> {
         let end = self.pos + len;
         let Some(body) = self.data.get(self.pos..end) else {
             return Err(RtbError::Truncated {
+                // audit:allow(as-cast): usize -> u64 widens losslessly on every supported target (usize is at most 64 bits); byte offsets in diagnostics only.
                 offset: self.pos as u64,
             });
         };
@@ -338,6 +341,7 @@ impl<'a> RtbSlice<'a> {
     fn finish_stream(&mut self, trailing: bool) -> Result<(), RtbError> {
         if trailing {
             return Err(RtbError::TrailingBytes {
+                // audit:allow(as-cast): usize -> u64 widens losslessly on every supported target (usize is at most 64 bits); byte offsets in diagnostics only.
                 offset: self.pos as u64,
             });
         }
@@ -392,6 +396,7 @@ impl<R: Read> RtbFileReader<R> {
         let declared = decode_header(&header)?;
         Ok(Self {
             inner,
+            // audit:allow(as-cast): usize -> u64 widens losslessly on every supported target (usize is at most 64 bits); byte offsets in diagnostics only.
             offset: HEADER_LEN as u64,
             decoded: 0,
             declared,
@@ -425,6 +430,7 @@ impl<R: Read> RtbFileReader<R> {
         self.buf[0] = tag[0];
         read_exact_at(&mut self.inner, &mut self.buf[1..len], self.offset)?;
         let event = wire::decode_frame_body(&self.buf[..len])?;
+        // audit:allow(as-cast): usize -> u64 widens losslessly on every supported target (usize is at most 64 bits); byte offsets in diagnostics only.
         self.offset += len as u64;
         if matches!(event, WireEvent::Eos) {
             self.finish_stream()?;

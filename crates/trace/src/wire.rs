@@ -481,11 +481,13 @@ impl FrameDecoder {
         // Compare in u64 so the bound check cannot be weakened by a
         // u32→usize truncation on a narrow target; a prefix of exactly
         // MAX_FRAME_BODY is legal, MAX_FRAME_BODY + 1 is not.
+        // audit:allow(as-cast): const usize -> u64 widens losslessly on every supported target (usize is at most 64 bits); this is the very bound check that makes the cast below safe.
         if u64::from(prefix) > MAX_FRAME_BODY as u64 {
             return Err(WireError::FrameTooLarge {
                 len: usize::try_from(prefix).unwrap_or(usize::MAX),
             });
         }
+        // audit:allow(as-cast): cannot truncate — the guard above rejects any prefix exceeding MAX_FRAME_BODY, and MAX_FRAME_BODY is a usize constant, so the surviving value fits usize by construction.
         let len = prefix as usize;
         if self.buf.len() < 4 + len {
             return Ok(None);

@@ -17,7 +17,10 @@
 //! - `serve` — the long-running dispatch daemon: ingest live events from
 //!   a (tailed) file or a TCP frame stream, snapshot metrics at window
 //!   boundaries, roll state daily, and drain to a result byte-identical
-//!   to `replay` over the same trace.
+//!   to `replay` over the same trace,
+//! - `audit` — the workspace determinism & invariant auditor: lex every
+//!   in-scope source file, fire the per-crate-tier rules, and fail on
+//!   any unwaived finding or unused waiver.
 //!
 //! Examples:
 //!
@@ -58,6 +61,16 @@ fn main() -> ExitCode {
         "replay" => replay(&args[1..]),
         "export" => export(&args[1..]),
         "serve" => serve(&args[1..]),
+        "audit" => match audit(&args[1..]) {
+            Ok(clean) => {
+                return if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => Err(e),
+        },
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -106,6 +119,9 @@ USAGE:
                      [--snapshot-dir DIR] [--snapshot-mins M] [--day-hours H]
                      [--no-grid] [--quiet-table] [--canonical]
                      (long-running dispatch daemon over a live event feed)
+  rideshare audit    [--root DIR] [--json] [--check] [--verbose]
+                     (static determinism/invariant audit of the workspace
+                      sources; exits nonzero on any unwaived finding)
 
 DIR holds trips.csv and drivers.csv as written by `generate`.
 `sweep --scenarios list` prints the catalog. Policies: greedy, maxMargin,
@@ -323,6 +339,7 @@ fn sweep(args: &[String]) -> Result<(), String> {
     };
     let with_timing = !args.iter().any(|a| a == "--canonical");
 
+    // audit:allow(wall-clock): operator-facing elapsed-time display only; --canonical drops these lines, which is exactly what the CI byte-identity diffs compare.
     let start = std::time::Instant::now();
     let report = run_sweep(&scenarios, &policies, opts);
     let elapsed = start.elapsed().as_secs_f64();
@@ -451,6 +468,7 @@ fn replay(args: &[String]) -> Result<(), String> {
         None => None,
     };
 
+    // audit:allow(wall-clock): operator-facing elapsed-time display only; --canonical drops these lines, which is exactly what the CI byte-identity diffs compare.
     let start = std::time::Instant::now();
     let summary = if let Some(data) = &rtb_data {
         let mut slice =
@@ -776,6 +794,7 @@ fn serve(args: &[String]) -> Result<(), String> {
                 .get_or_insert(format!("writing {}: {e}", path.display()));
         }
     };
+    // audit:allow(wall-clock): operator-facing elapsed-time display only; --canonical drops these lines, which is exactly what the CI byte-identity diffs compare.
     let start = std::time::Instant::now();
     let outcome = daemon.run(
         source.as_mut(),
@@ -868,4 +887,40 @@ fn bound(market: Market) -> Result<(), String> {
         ub.bound, ub.rounds, ub.columns, ub.converged
     );
     Ok(())
+}
+
+/// `rideshare audit`: run the static determinism/invariant audit.
+///
+/// Returns `Ok(true)` when the tree is clean (zero unwaived findings,
+/// zero unused or malformed waivers), `Ok(false)` when findings remain
+/// (the caller exits nonzero), `Err` on I/O or flag problems.
+fn audit(args: &[String]) -> Result<bool, String> {
+    let root = flag_value(args, "--root").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let json = args.iter().any(|a| a == "--json");
+    let check = args.iter().any(|a| a == "--check");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like the workspace root (no Cargo.toml); pass --root DIR",
+            root.display()
+        ));
+    }
+    let report = rideshare::audit::run_audit(&root).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report.to_canonical_json());
+    } else if check && report.is_clean() {
+        // CI mode stays quiet on success apart from the summary line.
+        print!(
+            "{}",
+            report
+                .render_human(false)
+                .lines()
+                .last()
+                .map(|l| format!("{l}\n"))
+                .unwrap_or_default()
+        );
+    } else {
+        print!("{}", report.render_human(verbose));
+    }
+    Ok(report.is_clean())
 }
