@@ -7,10 +7,10 @@
 //!
 //! | Rule | Tier |
 //! |---|---|
-//! | `iter-order` | dispatch/metrics crates (`core`, `online`, `pricing`, `metrics`, `geo`, `graph`, `lp`) |
+//! | `iter-order` | dispatch/metrics crates (`core`, `online`, `pricing`, `metrics`, `tsdb`, `geo`, `graph`, `lp`) |
 //! | `wall-clock` | everywhere except `crates/bench` (the measurement harness) |
-//! | `float-accum` | `crates/metrics` (the i128 fixed-point contract) |
-//! | `as-cast` | the wire/rtb codecs (`crates/trace/src/wire.rs`, `rtb.rs`) |
+//! | `float-accum` | `crates/metrics` and `crates/tsdb` (the i128 fixed-point contract) |
+//! | `as-cast` | the wire/rtb/tsdb codecs (`crates/trace/src/wire.rs`, `rtb.rs`, `crates/tsdb/src/codec.rs`) |
 //! | `unwrap-panic` | the hostile-input boundary (`crates/online/src/ingest.rs`, `serve.rs`) |
 //!
 //! Scanned at all: `src/` of the facade and of every `crates/*` member.
@@ -25,6 +25,7 @@ const ITER_ORDER_TIER: &[&str] = &[
     "crates/online/src/",
     "crates/pricing/src/",
     "crates/metrics/src/",
+    "crates/tsdb/src/",
     "crates/geo/src/",
     "crates/graph/src/",
     "crates/lp/src/",
@@ -32,7 +33,11 @@ const ITER_ORDER_TIER: &[&str] = &[
 
 /// Files holding the `.rtb`/wire binary codecs, where a truncating `as`
 /// cast corrupts frames silently.
-const AS_CAST_TIER: &[&str] = &["crates/trace/src/wire.rs", "crates/trace/src/rtb.rs"];
+const AS_CAST_TIER: &[&str] = &[
+    "crates/trace/src/wire.rs",
+    "crates/trace/src/rtb.rs",
+    "crates/tsdb/src/codec.rs",
+];
 
 /// The hostile-input boundary: feeds here are untrusted, so a panic is
 /// a denial-of-service bug ([`IngestError`](../../rideshare_online/enum.IngestError.html)
@@ -72,7 +77,10 @@ pub fn rules_for(rel: &str) -> Vec<&'static str> {
     if !rel.starts_with("crates/bench/") {
         rules.push(crate::rules::WALL_CLOCK);
     }
-    if rel.starts_with("crates/metrics/src/") {
+    // The fixed-point contract extends to the telemetry store: every
+    // value it persists or aggregates must stay on the integer grid, so
+    // a float accumulation there is the same bug as in `metrics`.
+    if rel.starts_with("crates/metrics/src/") || rel.starts_with("crates/tsdb/src/") {
         rules.push(crate::rules::FLOAT_ACCUM);
     }
     if AS_CAST_TIER.contains(&rel) {
@@ -111,7 +119,11 @@ mod tests {
         assert!(!rules_for("crates/bench/src/sweep.rs").contains(&rules::WALL_CLOCK));
         assert!(rules_for("crates/metrics/src/timeseries.rs").contains(&rules::FLOAT_ACCUM));
         assert!(!rules_for("crates/core/src/market.rs").contains(&rules::FLOAT_ACCUM));
+        assert!(rules_for("crates/tsdb/src/query.rs").contains(&rules::FLOAT_ACCUM));
+        assert!(rules_for("crates/tsdb/src/store.rs").contains(&rules::ITER_ORDER));
         assert!(rules_for("crates/trace/src/rtb.rs").contains(&rules::AS_CAST));
+        assert!(rules_for("crates/tsdb/src/codec.rs").contains(&rules::AS_CAST));
+        assert!(!rules_for("crates/tsdb/src/store.rs").contains(&rules::AS_CAST));
         assert!(!rules_for("crates/trace/src/generator.rs").contains(&rules::AS_CAST));
         assert!(rules_for("crates/online/src/ingest.rs").contains(&rules::UNWRAP_PANIC));
         assert!(!rules_for("crates/online/src/stream.rs").contains(&rules::UNWRAP_PANIC));

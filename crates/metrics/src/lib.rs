@@ -41,6 +41,8 @@ mod timeseries;
 
 pub use journal::MetricsJournal;
 pub use market_metrics::MarketMetrics;
-pub use stream_stats::{SnapshotError, StreamBucket, StreamMetrics, SNAPSHOT_SCHEMA};
+pub use stream_stats::{
+    fixed_to_f64, SnapshotError, StreamBucket, StreamMetrics, FIXED_POINT_SCALE, SNAPSHOT_SCHEMA,
+};
 pub use table::{render_bars, render_pivot, render_series, render_table, Series};
 pub use timeseries::{HourBucket, HourlyBreakdown};

@@ -101,6 +101,22 @@ pub(crate) struct FixedSum(pub(crate) i128);
 /// 2⁴⁰: ~9.1 × 10⁻¹³ resolution per addend.
 const FIXED_SCALE: f64 = (1u64 << 40) as f64;
 
+/// The fixed-point grid scale (2⁴⁰) shared by every monetary/distance
+/// accumulator: raw i128 values from [`StreamMetrics::revenue_raw`] and
+/// friends are `value × 2⁴⁰`. Public so downstream consumers (the
+/// telemetry store's human-readable rendering) can project raw integers
+/// back to units without re-deriving the constant.
+pub const FIXED_POINT_SCALE: f64 = FIXED_SCALE;
+
+/// Projects a raw fixed-point integer (2⁻⁴⁰ grid) to `f64` units — the
+/// same conversion [`StreamMetrics::revenue`] applies to its accumulator.
+/// Lossy for magnitudes beyond 2⁵³ grid steps, which is why equality
+/// checks compare the raw integers instead.
+#[must_use]
+pub fn fixed_to_f64(raw: i128) -> f64 {
+    raw as f64 / FIXED_SCALE
+}
+
 impl FixedSum {
     pub(crate) fn add(&mut self, x: f64) {
         debug_assert!(x.is_finite(), "non-finite metric value");
@@ -285,6 +301,43 @@ impl StreamMetrics {
     #[must_use]
     pub fn rejected(&self) -> usize {
         self.rejected
+    }
+
+    /// Total revenue as the raw i128 accumulator on the 2⁻⁴⁰ fixed-point
+    /// grid — the exact integer behind [`StreamMetrics::revenue`].
+    ///
+    /// The telemetry store ([`rideshare-tsdb`]) persists this integer, not
+    /// the `f64` projection, so recorded series and live accumulators can
+    /// be compared with `==` rather than a tolerance. Divide by
+    /// [`FIXED_POINT_SCALE`] (or use [`fixed_to_f64`]) to recover units.
+    ///
+    /// [`rideshare-tsdb`]: index.html
+    #[must_use]
+    pub fn revenue_raw(&self) -> i128 {
+        self.totals.revenue.0
+    }
+
+    /// Total profit as the raw i128 fixed-point accumulator — the exact
+    /// integer behind [`StreamMetrics::profit`]. See
+    /// [`StreamMetrics::revenue_raw`] for the grid contract.
+    #[must_use]
+    pub fn profit_raw(&self) -> i128 {
+        self.totals.profit.0
+    }
+
+    /// Total deadhead distance as the raw i128 fixed-point accumulator —
+    /// the exact integer behind [`StreamMetrics::total_deadhead_km`]. See
+    /// [`StreamMetrics::revenue_raw`] for the grid contract.
+    #[must_use]
+    pub fn deadhead_raw(&self) -> i128 {
+        self.deadhead_km.0
+    }
+
+    /// Total rider wait over served orders, in whole seconds (waits
+    /// accumulate as integers, so this is exact and merge-stable).
+    #[must_use]
+    pub fn wait_secs_total(&self) -> i64 {
+        self.wait_secs_sum
     }
 
     /// Served fraction of all demand so far — Fig. 7's metric, live.

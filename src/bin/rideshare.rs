@@ -18,6 +18,9 @@
 //!   a (tailed) file or a TCP frame stream, snapshot metrics at window
 //!   boundaries, roll state daily, and drain to a result byte-identical
 //!   to `replay` over the same trace,
+//! - `query` — range queries over a telemetry store recorded with
+//!   `--tsdb-dir` (serve or replay): label-filtered series merge,
+//!   windowed `sum/avg/rate/min/max`, canonical JSON or table output,
 //! - `audit` — the workspace determinism & invariant auditor: lex every
 //!   in-scope source file, fire the per-crate-tier rules, and fail on
 //!   any unwaived finding or unused waiver.
@@ -61,6 +64,7 @@ fn main() -> ExitCode {
         "replay" => replay(&args[1..]),
         "export" => export(&args[1..]),
         "serve" => serve(&args[1..]),
+        "query" => query(&args[1..]),
         "audit" => match audit(&args[1..]) {
             Ok(clean) => {
                 return if clean {
@@ -107,6 +111,7 @@ USAGE:
                      [--model hitch|hwh] [--delivery]
                      [--surge-window MINS] [--no-grid] [--quiet-table]
                      [--shards N] [--regions K] [--canonical]
+                     [--tsdb-dir DIR] [--tsdb-scenario NAME]
                      (bounded-memory streaming replay; N can be millions)
   rideshare export   [--tasks N] [--drivers N] [--seed S]
                      [--model hitch|hwh] [--delivery] [--regions K]
@@ -117,8 +122,13 @@ USAGE:
                      [--policy margin|nearest|batch-<W>|batch-opt-<W>]
                      [--shards N] [--regions K] [--follow]
                      [--snapshot-dir DIR] [--snapshot-mins M] [--day-hours H]
+                     [--tsdb-dir DIR] [--tsdb-scenario NAME]
                      [--no-grid] [--quiet-table] [--canonical]
                      (long-running dispatch daemon over a live event feed)
+  rideshare query    --tsdb DIR [--list]
+                     [--filter k=v,k=v …] [--from T] [--to T] [--step T]
+                     [--agg sum|avg|rate|min|max] [--canonical]
+                     (range queries over a recorded telemetry store)
   rideshare audit    [--root DIR] [--json] [--check] [--verbose]
                      (static determinism/invariant audit of the workspace
                       sources; exits nonzero on any unwaived finding)
@@ -144,6 +154,17 @@ wall-clock lines so reports diff clean across shard counts.
 events decode zero-copy out of the binary log `export --format bin`
 wrote (fixed-width records, see crates/trace rtb docs), with decisions
 byte-identical to the generator-fed pipeline over the same trace.
+
+`--tsdb-dir DIR` (replay and serve) additionally records per-window
+metric deltas — served, rejected, revenue, profit, wait_secs, deadhead,
+active_drivers — into the embedded telemetry store at DIR, losslessly on
+the exact fixed-point grid, labelled {scenario, policy, region, shard,
+metric}. `query` reads such a store back: `--filter` narrows by label
+(`policy=margin,metric=profit`), `--from/--to` bound the half-open time
+range, `--step` sets the window (plain seconds or 90s/30m/2h/1d), and
+`--agg` picks the projection. `--canonical` emits byte-stable JSON
+(schema rideshare-tsdb/1, exact integers only); `--list` tables the
+stored series instead.
 
 `export` writes the replay pipeline's event stream (drivers, priced
 tasks, end-of-stream marker) as a JSONL, CSV or binary `.rtb` log.
@@ -452,7 +473,12 @@ fn replay(args: &[String]) -> Result<(), String> {
     } else {
         StreamOptions::default().grid(bbox)
     };
-    let mut metrics = StreamMetrics::hourly();
+    // `--tsdb-dir` interposes the telemetry recorder between the engine
+    // and the metrics accumulator: per-window deltas persist to the
+    // embedded store (queryable later via `rideshare query`) while the
+    // replay report stays byte-identical — the recorder forwards every
+    // callback unchanged.
+    let mut metrics = open_recorder(args, "replay", regions, shards, StreamMetrics::hourly())?;
 
     // `--input FILE.rtb` replaces the generator + pricer with the binary
     // event log `export --format bin` wrote: the whole file is slurped
@@ -547,6 +573,10 @@ fn replay(args: &[String]) -> Result<(), String> {
     };
     let elapsed = start.elapsed().as_secs_f64();
 
+    // Flush + dismantle the recorder: a latched recording error fails
+    // the run *after* dispatch completed, like a snapshot write error.
+    let (tsdb_store, metrics) = metrics.finish().map_err(|e| format!("tsdb: {e}"))?;
+
     if !args.iter().any(|a| a == "--quiet-table") {
         println!("{}", metrics.render());
     }
@@ -580,7 +610,43 @@ fn replay(args: &[String]) -> Result<(), String> {
             summary.tasks as f64 / elapsed.max(1e-9),
         );
     }
+    report_recording(tsdb_store.as_ref());
     Ok(())
+}
+
+/// Opens the telemetry recorder around `inner` when `--tsdb-dir` is
+/// present (labels: `--tsdb-scenario` or the subcommand name, the
+/// `--policy` spelling, and the run's region/shard counts); otherwise a
+/// pure pass-through, so replay/serve keep one sink code path.
+fn open_recorder<S: rideshare::online::StreamSink>(
+    args: &[String],
+    subcommand: &str,
+    regions: usize,
+    shards: usize,
+    inner: S,
+) -> Result<TsdbRecorder<S>, String> {
+    match flag_value(args, "--tsdb-dir") {
+        None => Ok(TsdbRecorder::passthrough(inner)),
+        Some(dir) => {
+            let store = TsdbStore::open(Path::new(dir)).map_err(|e| format!("tsdb: {e}"))?;
+            let scenario = flag_value(args, "--tsdb-scenario").unwrap_or(subcommand);
+            let policy = flag_value(args, "--policy").unwrap_or("margin");
+            let labels = RunLabels::new(scenario, policy, regions, shards);
+            Ok(TsdbRecorder::new(store, labels, inner))
+        }
+    }
+}
+
+/// One stdout line naming what a `--tsdb-dir` run persisted (stable
+/// text, so recorded and unrecorded runs differ only by this line).
+fn report_recording(store: Option<&TsdbStore>) {
+    if let Some(store) = store {
+        println!(
+            "        tsdb: recorded {} series to {}",
+            store.series().count(),
+            store.dir().display()
+        );
+    }
 }
 
 /// Export output encoding: a line format, or the fixed-width binary
@@ -780,7 +846,10 @@ fn serve(args: &[String]) -> Result<(), String> {
         }
     };
 
-    let mut journal = MetricsJournal::hourly();
+    // The daemon's sink: the metrics journal, optionally behind the
+    // telemetry recorder (`--tsdb-dir`) persisting per-window deltas as
+    // they close — same interposer pattern as `replay`.
+    let mut sink = open_recorder(args, "serve", regions, shards, MetricsJournal::hourly())?;
     // Both hooks write files; a RefCell keeps the shared "first write
     // error" without making the helper uniquely borrowed by one closure.
     let write_err: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
@@ -798,20 +867,27 @@ fn serve(args: &[String]) -> Result<(), String> {
     let start = std::time::Instant::now();
     let outcome = daemon.run(
         source.as_mut(),
-        &mut journal,
-        |p, journal: &mut MetricsJournal| {
+        &mut sink,
+        |p, sink: &mut TsdbRecorder<MetricsJournal>| {
             write_snapshot(
                 format!("snap-{:05}.json", p.seq),
-                journal.cumulative().to_canonical_json(),
+                sink.inner().cumulative().to_canonical_json(),
             );
         },
-        |d, journal: &mut MetricsJournal| {
-            let closed = journal.roll_day();
+        |d, sink: &mut TsdbRecorder<MetricsJournal>| {
+            let closed = sink.inner_mut().roll_day();
             write_snapshot(format!("day-{:05}.json", d.day), closed.to_canonical_json());
+            // Day rollover is the store's durability boundary: seal open
+            // chunks and rewrite the index, so a killed daemon keeps
+            // every closed day. Errors latch like snapshot write errors.
+            if let Err(e) = sink.flush_store() {
+                write_err.borrow_mut().get_or_insert(format!("tsdb: {e}"));
+            }
         },
     );
     let elapsed = start.elapsed().as_secs_f64();
     let report = &outcome.report;
+    let (tsdb_store, journal) = sink.finish().map_err(|e| format!("tsdb: {e}"))?;
     let metrics = journal.cumulative();
     if let Some(dir) = &snapshot_dir {
         let path = dir.join("final.json");
@@ -870,6 +946,7 @@ fn serve(args: &[String]) -> Result<(), String> {
             report.summary.tasks as f64 / elapsed.max(1e-9),
         );
     }
+    report_recording(tsdb_store.as_ref());
     if let Some(e) = write_err.into_inner() {
         return Err(e);
     }
@@ -877,6 +954,99 @@ fn serve(args: &[String]) -> Result<(), String> {
         Some(e) => Err(format!("ingest: {e}")),
         None => Ok(()),
     }
+}
+
+/// Parses a duration flag: plain seconds or a `90s`/`30m`/`2h`/`1d`
+/// suffix form.
+fn parse_secs_flag(args: &[String], name: &str, default: i64) -> Result<i64, String> {
+    let Some(v) = flag_value(args, name) else {
+        return Ok(default);
+    };
+    let (digits, mult) = match v.as_bytes().last() {
+        Some(b's') => (&v[..v.len() - 1], 1),
+        Some(b'm') => (&v[..v.len() - 1], 60),
+        Some(b'h') => (&v[..v.len() - 1], 3600),
+        Some(b'd') => (&v[..v.len() - 1], 86_400),
+        _ => (v, 1),
+    };
+    digits
+        .parse::<i64>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+        .ok_or_else(|| format!("bad value '{v}' for {name} (seconds, or 90s/30m/2h/1d)"))
+}
+
+/// `rideshare query`: range queries over a recorded telemetry store.
+fn query(args: &[String]) -> Result<(), String> {
+    use rideshare::tsdb::query::render_table as render_query_table;
+    use rideshare::tsdb::to_canonical_json;
+
+    let dir = flag_value(args, "--tsdb").ok_or_else(|| format!("--tsdb DIR required\n{USAGE}"))?;
+    // Querying is read-only: a missing directory is an error, not an
+    // invitation to create an empty store (which `open` would do).
+    if !Path::new(dir).is_dir() {
+        return Err(format!("--tsdb: no store directory at {dir}"));
+    }
+    let store = TsdbStore::open(Path::new(dir)).map_err(|e| format!("tsdb: {e}"))?;
+
+    if args.iter().any(|a| a == "--list") {
+        let mut total: u64 = 0;
+        println!(
+            "{:>5} | {:>8} | {:>10} | {:>10} | series",
+            "id", "samples", "first", "last"
+        );
+        for (key, info) in store.series() {
+            let fmt_t = |t: Option<i64>| t.map_or_else(|| "-".to_string(), |t| t.to_string());
+            println!(
+                "{:>5} | {:>8} | {:>10} | {:>10} | {}",
+                info.id,
+                info.samples,
+                fmt_t(info.first_t),
+                fmt_t(info.last_t),
+                key.canonical(),
+            );
+            total += info.samples;
+        }
+        println!("{} series, {total} samples", store.series().count());
+        return Ok(());
+    }
+
+    let filter = match flag_value(args, "--filter") {
+        Some(s) => LabelFilter::parse(s).map_err(|e| format!("--filter: {e}"))?,
+        None => LabelFilter::any(),
+    };
+    let agg = match flag_value(args, "--agg") {
+        None => Agg::Sum,
+        Some(s) => {
+            Agg::parse(s).ok_or_else(|| format!("bad --agg '{s}' (sum|avg|rate|min|max)"))?
+        }
+    };
+    // The default range is the whole store: pre-epoch samples (bucket 0
+    // absorbs pre-epoch publishes, so rejections can land at negative
+    // stream time) must count, or query totals drift from the
+    // accumulator totals the equivalence battery pins them to.
+    let q = RangeQuery {
+        filter,
+        from: parse_secs_flag(args, "--from", i64::MIN)?,
+        to: parse_secs_flag(args, "--to", i64::MAX)?,
+        step: parse_secs_flag(args, "--step", 3600)?,
+    };
+    let result = run_query(&store, &q).map_err(|e| format!("query: {e}"))?;
+    if args.iter().any(|a| a == "--canonical") {
+        print!("{}", to_canonical_json(&q, agg, &result));
+    } else {
+        print!("{}", render_query_table(&q, agg, &result));
+        println!(
+            "query: {} series merged{}",
+            result.matched.len(),
+            if q.filter.canonical().is_empty() {
+                String::new()
+            } else {
+                format!(" (filter {})", q.filter.canonical())
+            },
+        );
+    }
+    Ok(())
 }
 
 fn bound(market: Market) -> Result<(), String> {

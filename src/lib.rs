@@ -18,6 +18,7 @@
 //! | [`core`] | `rideshare-core` | the market model, task maps, GA, `Z_f*`, exact ILP, Fig. 2 |
 //! | [`online`] | `rideshare-online` | the online simulator, Nearest & maxMargin dispatch, streaming engines, the `serve` daemon |
 //! | [`metrics`] | `rideshare-metrics` | evaluation metrics and table rendering |
+//! | [`tsdb`] | `rideshare-tsdb` | embedded telemetry time-series store: lossless chunks, label index, range queries (`rideshare query`) |
 //! | [`bench`](mod@bench) | `rideshare-bench` | scenario catalog, parallel sharded sweep engine, figure harness |
 //!
 //! # Quickstart
@@ -58,6 +59,7 @@ pub use rideshare_metrics as metrics;
 pub use rideshare_online as online;
 pub use rideshare_pricing as pricing;
 pub use rideshare_trace as trace;
+pub use rideshare_tsdb as tsdb;
 pub use rideshare_types as types;
 
 /// The most commonly used items, importable in one line.
@@ -85,6 +87,9 @@ pub mod prelude {
     pub use rideshare_pricing::{FareModel, SurgeConfig, SurgeEngine, WtpModel};
     pub use rideshare_trace::{
         DriverModel, DriverShift, Trace, TraceConfig, TraceStream, TripRecord,
+    };
+    pub use rideshare_tsdb::{
+        run_query, Agg, LabelFilter, RangeQuery, RunLabels, TsdbRecorder, TsdbStore,
     };
     pub use rideshare_types::{DriverId, Money, TaskId, TimeDelta, Timestamp};
 }

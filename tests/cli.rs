@@ -135,6 +135,77 @@ fn bad_input_reports_errors() {
 }
 
 #[test]
+fn replay_records_telemetry_and_query_reads_it_back() {
+    // The telemetry loop end to end at the CLI surface: replay with
+    // --tsdb-dir writes a store, query filters and aggregates it.
+    let dir = tmpdir("tsdb-query");
+    let dir_s = dir.to_str().unwrap();
+    let run = cli(&[
+        "replay",
+        "--tasks",
+        "2000",
+        "--drivers",
+        "40",
+        "--seed",
+        "3",
+        "--tsdb-dir",
+        dir_s,
+        "--tsdb-scenario",
+        "cli-smoke",
+        "--quiet-table",
+    ]);
+    assert!(
+        run.status.success(),
+        "{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    assert!(String::from_utf8_lossy(&run.stdout).contains("tsdb: recorded"));
+
+    let table = cli(&[
+        "query",
+        "--tsdb",
+        dir_s,
+        "--filter",
+        "scenario=cli-smoke,metric=profit",
+    ]);
+    assert!(table.status.success());
+    let stdout = String::from_utf8_lossy(&table.stdout);
+    assert!(stdout.contains("window"), "{stdout}");
+
+    let canon = cli(&[
+        "query",
+        "--tsdb",
+        dir_s,
+        "--filter",
+        "metric=served",
+        "--canonical",
+    ]);
+    assert!(canon.status.success());
+    let json = String::from_utf8_lossy(&canon.stdout);
+    assert!(json.contains("\"schema\":\"rideshare-tsdb/1\""), "{json}");
+
+    // Error paths: querying is read-only, so a missing store directory
+    // is a typed error (and must not create an empty store), and an
+    // unknown label key names the legal keys.
+    let missing = cli(&[
+        "query",
+        "--tsdb",
+        "/nonexistent-rideshare-tsdb",
+        "--filter",
+        "metric=profit",
+    ]);
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("no store directory"));
+    assert!(!PathBuf::from("/nonexistent-rideshare-tsdb").exists());
+
+    let bad_label = cli(&["query", "--tsdb", dir_s, "--filter", "flavor=spicy"]);
+    assert!(!bad_label.status.success());
+    assert!(String::from_utf8_lossy(&bad_label.stderr).contains("unknown label key"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn replay_streams_in_bounded_memory() {
     // The streaming subcommand end to end: a small synthetic stream,
     // instant and batched policies, peak-resident line included.
