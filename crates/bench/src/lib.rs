@@ -22,9 +22,13 @@
 
 // Lint levels (unsafe_code, missing_docs) come from [workspace.lints].
 
+pub mod distrib;
 pub mod scenario;
 pub mod sweep;
 
+pub use distrib::{
+    orchestrate, run_worker, OrchestrateOptions, OrchestrateOutcome, WorkerOptions, WorkerOutcome,
+};
 pub use scenario::{Scenario, ScenarioKind};
 pub use sweep::{run_sweep, PolicySpec, SweepCell, SweepOptions, SweepReport};
 

@@ -115,7 +115,7 @@ use std::sync::mpsc;
 
 use rideshare_core::{Driver, Task};
 use rideshare_geo::{BoundingBox, GeoPoint, GridIndex, SpeedModel};
-use rideshare_types::{DriverId, TimeDelta, Timestamp};
+use rideshare_types::{ConfigError, DriverId, TimeDelta, Timestamp};
 
 use crate::batch::{BatchMatcher, GreedyPairMatcher, MatcherKind, OptimalAssignmentMatcher};
 use crate::policy::{splitmix64, DispatchPolicy, MaxMargin, NearestDriver};
@@ -143,7 +143,16 @@ pub trait RegionPartitioner {
     /// Region → shard assignment when regions outnumber shards. The
     /// default folds round-robin, keeping the region-tagged catalog's
     /// `k`-region / `k`-shard case one-to-one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero — a value [`ShardOptions::try_new`]
+    /// rejects as a typed error before any partitioner can see it.
     fn shard_of(&self, region: usize, shards: usize) -> usize {
+        assert!(
+            shards > 0,
+            "shard count must be at least 1 (ShardOptions::try_new rejects 0)"
+        );
         region % shards
     }
 }
@@ -185,6 +194,10 @@ impl RegionPartitioner for GridHashPartitioner {
     }
 
     fn shard_of(&self, region: usize, shards: usize) -> usize {
+        assert!(
+            shards > 0,
+            "shard count must be at least 1 (ShardOptions::try_new rejects 0)"
+        );
         (splitmix64(region as u64) % shards as u64) as usize
     }
 }
@@ -339,16 +352,41 @@ impl ShardOptions {
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is zero.
+    /// Panics if `shards` is zero; [`ShardOptions::try_new`] is the
+    /// non-panicking form for validating external input.
     #[must_use]
     pub fn new(shards: usize) -> Self {
-        assert!(shards > 0, "need at least one shard");
-        Self {
+        Self::try_new(shards).expect("need at least one shard")
+    }
+
+    /// [`ShardOptions::new`] with the zero-shard case rejected as a typed
+    /// error instead of a panic — the form CLI / config boundaries should
+    /// use. With `shards == 0` no partitioner could place a single
+    /// region (`region % 0` divides by zero), so the value is rejected
+    /// here, before any engine or partitioner sees it.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroShards`] when `shards` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rideshare_online::ShardOptions;
+    /// use rideshare_types::ConfigError;
+    /// assert!(ShardOptions::try_new(2).is_ok());
+    /// assert_eq!(ShardOptions::try_new(0).unwrap_err(), ConfigError::ZeroShards);
+    /// ```
+    pub fn try_new(shards: usize) -> Result<Self, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        Ok(Self {
             shards,
             stream: StreamOptions::default(),
             validate: cfg!(debug_assertions),
             channel_capacity: 1024,
-        }
+        })
     }
 
     /// Replaces the per-shard engine options.
@@ -1224,6 +1262,34 @@ mod tests {
         assert_eq!(part.region_of(boxes[1].center()), 1);
         // Outside every box: nearest center wins.
         assert_eq!(part.region_of(GeoPoint::new(41.15, -6.0)), 1);
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error_not_a_division_panic() {
+        // Regression: `GridHashPartitioner::shard_of(_, 0)` used to reach
+        // `% 0` and die with an unhelpful arithmetic panic; the value is
+        // now rejected as ConfigError at option construction.
+        assert_eq!(
+            ShardOptions::try_new(0).unwrap_err(),
+            ConfigError::ZeroShards
+        );
+        assert!(ShardOptions::try_new(1).is_ok());
+        assert_eq!(ShardOptions::try_new(4).unwrap().shards, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be at least 1")]
+    fn grid_partitioner_names_the_zero_shard_bug() {
+        let bbox = BoundingBox::new(41.0, 41.3, -8.8, -8.3);
+        let grid = GridHashPartitioner::new(bbox, 2, 2);
+        let _ = grid.shard_of(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be at least 1")]
+    fn default_shard_fold_names_the_zero_shard_bug() {
+        let part = BoxPartitioner::new(vec![BoundingBox::new(41.0, 41.3, -8.8, -8.3)]);
+        let _ = part.shard_of(0, 0);
     }
 
     #[test]

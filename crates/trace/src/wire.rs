@@ -519,6 +519,10 @@ pub enum JsonValue {
     Arr(Vec<JsonValue>),
     /// An object with insertion-ordered keys.
     Obj(Vec<(String, JsonValue)>),
+    /// The `null` literal (the sweep schema emits it for undefined ratios).
+    Null,
+    /// A `true`/`false` literal.
+    Bool(bool),
 }
 
 impl JsonValue {
@@ -554,6 +558,21 @@ impl JsonValue {
     pub fn arr(&self) -> Option<&[JsonValue]> {
         match self {
             JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is the `null` literal.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// The value as a boolean, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -600,6 +619,9 @@ impl<'a> JsonParser<'a> {
             Some(b'[') => self.array(),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             other => Err(format!(
                 "unexpected {:?} at byte {}",
                 other.map(|b| b as char),
@@ -719,10 +741,20 @@ impl<'a> JsonParser<'a> {
         let text = std::str::from_utf8(&self.b[start..self.pos]).map_err(|e| e.to_string())?;
         Ok(JsonValue::Num(text.to_string()))
     }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("unexpected literal at byte {}", self.pos))
+        }
+    }
 }
 
-/// Parses a strict subset of JSON (objects, arrays, strings, numbers) —
-/// exactly what the wire and snapshot formats emit.
+/// Parses a strict subset of JSON (objects, arrays, strings, numbers, and
+/// the `null`/`true`/`false` literals) — exactly what the wire, snapshot,
+/// and sweep formats emit.
 ///
 /// # Errors
 ///
@@ -1185,6 +1217,17 @@ mod tests {
     fn json_parser_keeps_integer_precision() {
         let v = parse_json("{\"at\":9223372036854775807}").unwrap();
         assert_eq!(v.get("at").unwrap().num(), Some("9223372036854775807"));
+    }
+
+    #[test]
+    fn json_parser_accepts_literals() {
+        let v = parse_json("{\"ratio\": null, \"bound\": true, \"off\": false}").unwrap();
+        assert!(v.get("ratio").unwrap().is_null());
+        assert_eq!(v.get("bound").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("off").unwrap().as_bool(), Some(false));
+        assert!(!v.get("bound").unwrap().is_null());
+        assert!(parse_json("nul").is_err());
+        assert!(parse_json("truthy").is_err());
     }
 
     #[test]

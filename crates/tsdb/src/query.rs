@@ -231,6 +231,15 @@ pub struct QueryResult {
 /// Evaluates `q` against `store`: merge matched series (same-timestamp
 /// samples sum), keep `[from, to)`, fold into step windows.
 ///
+/// Window starts are `t.div_euclid(step) * step` — aligned to the
+/// **absolute clock**, not to `from`. Two edges follow deliberately:
+/// a sample at a negative timestamp floors *down* (`-1` with step 60
+/// lands in window `-60`, not window `0`), and when `step` exceeds the
+/// queried range the single window's start may precede `from`. Both
+/// keep query windows bit-identical to `StreamMetrics` bucketing, which
+/// uses the same alignment. The range itself stays half-open: a sample
+/// exactly at `to` is excluded, a sample exactly at `from` is included.
+///
 /// # Errors
 ///
 /// [`TsdbError::BadIndex`] for a non-positive `step` or inverted range;
@@ -452,6 +461,110 @@ mod tests {
         assert_eq!(r.windows[2].start, 120);
         let total = r.total.expect("total");
         assert_eq!((total.count, total.sum), (4, 20));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn negative_timestamps_floor_into_negative_windows() {
+        let dir = tmp_dir("neg");
+        let mut store = TsdbStore::open(&dir).expect("open");
+        // div_euclid floors toward -inf: -1 belongs to window -60, not 0.
+        store.append(&key("a", "served"), -61, 1).expect("append");
+        store.append(&key("a", "served"), -1, 2).expect("append");
+        store.append(&key("a", "served"), 0, 4).expect("append");
+        let q = RangeQuery {
+            filter: LabelFilter::parse("metric=served").expect("filter"),
+            from: -120,
+            to: 60,
+            step: 60,
+        };
+        let r = run_query(&store, &q).expect("query");
+        let starts: Vec<i64> = r.windows.iter().map(|w| w.start).collect();
+        assert_eq!(starts, vec![-120, -60, 0]);
+        assert_eq!(r.windows[1].sum, 2);
+        assert_eq!(r.total.expect("total").sum, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn step_wider_than_range_yields_one_clock_aligned_window() {
+        let dir = tmp_dir("wide");
+        let mut store = TsdbStore::open(&dir).expect("open");
+        store.append(&key("a", "served"), 130, 3).expect("append");
+        store.append(&key("a", "served"), 150, 4).expect("append");
+        // Range [120, 160) is 40s wide but step is 3600: the one window
+        // starts at 0 (absolute-clock alignment), before `from`.
+        let q = RangeQuery {
+            filter: LabelFilter::parse("metric=served").expect("filter"),
+            from: 120,
+            to: 160,
+            step: 3600,
+        };
+        let r = run_query(&store, &q).expect("query");
+        assert_eq!(r.windows.len(), 1);
+        assert_eq!(r.windows[0].start, 0);
+        assert_eq!((r.windows[0].count, r.windows[0].sum), (2, 7));
+        // The total row reports `from` as its start, not the window start.
+        assert_eq!(r.total.expect("total").start, 120);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn range_is_half_open_at_both_edges() {
+        let dir = tmp_dir("edges");
+        let mut store = TsdbStore::open(&dir).expect("open");
+        store.append(&key("a", "served"), 60, 1).expect("append");
+        store.append(&key("a", "served"), 119, 2).expect("append");
+        store.append(&key("a", "served"), 120, 8).expect("append");
+        let q = RangeQuery {
+            filter: LabelFilter::parse("metric=served").expect("filter"),
+            from: 60,
+            to: 120,
+            step: 60,
+        };
+        let r = run_query(&store, &q).expect("query");
+        // `from` is inclusive, `to` exclusive: the sample exactly at 120
+        // stays out, the one exactly at 60 stays in.
+        let total = r.total.expect("total");
+        assert_eq!((total.count, total.sum), (2, 3));
+        // Empty-but-valid degenerate range: from == to matches nothing.
+        let empty = run_query(
+            &store,
+            &RangeQuery {
+                from: 120,
+                to: 120,
+                ..q.clone()
+            },
+        )
+        .expect("empty range");
+        assert!(empty.windows.is_empty() && empty.total.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_step_and_inverted_range_are_typed_errors() {
+        let dir = tmp_dir("bad");
+        let store = TsdbStore::open(&dir).expect("open");
+        let q = RangeQuery {
+            filter: LabelFilter::any(),
+            from: 0,
+            to: 10,
+            step: 0,
+        };
+        assert!(matches!(
+            run_query(&store, &q).expect_err("zero step"),
+            TsdbError::BadIndex(m) if m.contains("step")
+        ));
+        let inverted = RangeQuery {
+            from: 10,
+            to: 0,
+            step: 60,
+            ..q
+        };
+        assert!(matches!(
+            run_query(&store, &inverted).expect_err("inverted"),
+            TsdbError::BadIndex(m) if m.contains("inverted")
+        ));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -86,6 +86,184 @@ impl fmt::Display for MarketError {
 
 impl std::error::Error for MarketError {}
 
+/// Errors raised when validating user-supplied configuration before a run
+/// starts (CLI flags, option builders), as opposed to failures during a run.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_types::ConfigError;
+/// let err = ConfigError::ZeroShards;
+/// assert_eq!(err.to_string(), "shard count must be at least 1");
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A sharded engine was configured with `shards == 0`; the partitioner
+    /// would divide by zero before dispatching a single event.
+    ZeroShards,
+    /// An orchestrated sweep was configured with `workers == 0`; no process
+    /// would ever claim a unit and the run could not finish.
+    ZeroWorkers,
+    /// A retry budget of zero attempts can never execute a unit.
+    ZeroAttempts,
+    /// A free-form invalid value for a named option.
+    InvalidValue {
+        /// The option that was rejected (e.g. `--timeout`).
+        option: String,
+        /// Why the value is unusable.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroShards => write!(f, "shard count must be at least 1"),
+            ConfigError::ZeroWorkers => write!(f, "worker count must be at least 1"),
+            ConfigError::ZeroAttempts => write!(f, "retry budget must allow at least 1 attempt"),
+            ConfigError::InvalidValue { option, reason } => {
+                write!(f, "invalid value for {option}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Errors raised by the multi-process sweep orchestrator and its workers.
+///
+/// Every failure mode of the spool protocol is typed so callers (and the
+/// `rideshare orchestrate` CLI) can distinguish a corrupt spool from a
+/// poisoned unit from a plain I/O failure.
+///
+/// # Examples
+///
+/// ```
+/// use rideshare_types::OrchestrateError;
+/// let err = OrchestrateError::Poisoned {
+///     units: vec!["porto-day:greedy".into()],
+/// };
+/// assert_eq!(
+///     err.to_string(),
+///     "1 unit(s) poisoned after exhausting retries: porto-day:greedy"
+/// );
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum OrchestrateError {
+    /// Configuration was rejected before the spool was touched.
+    Config(ConfigError),
+    /// An I/O operation on the spool failed.
+    Io {
+        /// What the orchestrator was doing (e.g. `create spool dir`).
+        op: String,
+        /// The path involved.
+        path: String,
+        /// The underlying error rendered as text.
+        detail: String,
+    },
+    /// The spool directory already contains a catalog and `--resume` was not
+    /// requested; refusing to clobber a previous (possibly partial) run.
+    SpoolExists {
+        /// The spool directory.
+        path: String,
+    },
+    /// `--resume` found a spool whose catalog disagrees with the requested
+    /// scenarios/policies; resuming would silently merge unrelated runs.
+    ManifestMismatch {
+        /// Why the manifests differ.
+        detail: String,
+    },
+    /// A unit spec file in the spool could not be parsed.
+    CorruptUnit {
+        /// The unit file path.
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A result file in the spool could not be parsed back into sweep cells.
+    CorruptResult {
+        /// The result file path.
+        path: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A unit referenced a scenario name absent from the catalog.
+    UnknownScenario(String),
+    /// A unit referenced a policy label that does not parse.
+    UnknownPolicy(String),
+    /// Spawning a worker child process failed.
+    Spawn {
+        /// The underlying error rendered as text.
+        detail: String,
+    },
+    /// Workers kept dying and the respawn budget ran out before the spool
+    /// drained; the spool is left intact for `--resume`.
+    SpawnBudgetExhausted {
+        /// How many respawns were attempted.
+        attempts: usize,
+    },
+    /// One or more units exhausted their retry budget and were poisoned.
+    /// The merged report for the surviving units is intentionally withheld:
+    /// a partial sweep is not byte-comparable to the canonical one.
+    Poisoned {
+        /// Unit ids (`scenario:policy`) that were poisoned.
+        units: Vec<String>,
+    },
+}
+
+impl fmt::Display for OrchestrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrchestrateError::Config(c) => write!(f, "{c}"),
+            OrchestrateError::Io { op, path, detail } => {
+                write!(f, "i/o failure during {op} at {path}: {detail}")
+            }
+            OrchestrateError::SpoolExists { path } => write!(
+                f,
+                "spool {path} already holds a run; pass --resume to continue it"
+            ),
+            OrchestrateError::ManifestMismatch { detail } => {
+                write!(f, "spool catalog does not match this invocation: {detail}")
+            }
+            OrchestrateError::CorruptUnit { path, detail } => {
+                write!(f, "corrupt unit spec {path}: {detail}")
+            }
+            OrchestrateError::CorruptResult { path, detail } => {
+                write!(f, "corrupt unit result {path}: {detail}")
+            }
+            OrchestrateError::UnknownScenario(name) => write!(f, "unknown scenario: {name}"),
+            OrchestrateError::UnknownPolicy(label) => write!(f, "unknown policy: {label}"),
+            OrchestrateError::Spawn { detail } => write!(f, "failed to spawn worker: {detail}"),
+            OrchestrateError::SpawnBudgetExhausted { attempts } => {
+                write!(f, "worker respawn budget exhausted after {attempts} spawns")
+            }
+            OrchestrateError::Poisoned { units } => write!(
+                f,
+                "{} unit(s) poisoned after exhausting retries: {}",
+                units.len(),
+                units.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OrchestrateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OrchestrateError::Config(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for OrchestrateError {
+    fn from(c: ConfigError) -> Self {
+        OrchestrateError::Config(c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +296,46 @@ mod tests {
     fn error_trait_object() {
         let err: Box<dyn std::error::Error> = Box::new(MarketError::Infeasible);
         assert_eq!(err.to_string(), "problem is infeasible");
+    }
+
+    #[test]
+    fn config_error_display() {
+        assert_eq!(
+            ConfigError::ZeroShards.to_string(),
+            "shard count must be at least 1"
+        );
+        assert_eq!(
+            ConfigError::ZeroWorkers.to_string(),
+            "worker count must be at least 1"
+        );
+        assert_eq!(
+            ConfigError::InvalidValue {
+                option: "--timeout".into(),
+                reason: "must be positive".into()
+            }
+            .to_string(),
+            "invalid value for --timeout: must be positive"
+        );
+    }
+
+    #[test]
+    fn orchestrate_error_display_and_source() {
+        let err = OrchestrateError::from(ConfigError::ZeroWorkers);
+        assert_eq!(err.to_string(), "worker count must be at least 1");
+        assert!(std::error::Error::source(&err).is_some());
+        assert_eq!(
+            OrchestrateError::SpoolExists {
+                path: "/tmp/spool".into()
+            }
+            .to_string(),
+            "spool /tmp/spool already holds a run; pass --resume to continue it"
+        );
+        assert_eq!(
+            OrchestrateError::Poisoned {
+                units: vec!["a:greedy".into(), "b:random".into()]
+            }
+            .to_string(),
+            "2 unit(s) poisoned after exhausting retries: a:greedy, b:random"
+        );
     }
 }

@@ -36,7 +36,7 @@ mod ids;
 mod money;
 mod time;
 
-pub use error::{MarketError, Result};
+pub use error::{ConfigError, MarketError, OrchestrateError, Result};
 pub use ids::{DriverId, NodeId, TaskId};
 pub use money::Money;
 pub use time::{TimeDelta, Timestamp};

@@ -10,6 +10,11 @@
 //! - `bound` — compute the LP upper bound `Z_f*`,
 //! - `sweep` — run the scenario × policy matrix through the parallel
 //!   sharded sweep engine and emit a JSON/CSV report,
+//! - `orchestrate` — the same matrix fanned out across N worker *child
+//!   processes* through a crash-safe spool directory, merged
+//!   byte-identical to `sweep --canonical`,
+//! - `worker` — the child side of `orchestrate`: claim spool units via
+//!   atomic rename, run them, publish canonical results,
 //! - `replay` — stream a synthetic Porto day of any size (millions of
 //!   orders) through the bounded-memory streaming engine,
 //! - `export` — write that same event stream as a JSONL/CSV event log a
@@ -61,6 +66,8 @@ fn main() -> ExitCode {
         "simulate" => with_market(&args[1..], |market| simulate(&args[1..], market)),
         "bound" => with_market(&args[1..], bound),
         "sweep" => sweep(&args[1..]),
+        "orchestrate" => orchestrate_cmd(&args[1..]),
+        "worker" => worker_cmd(&args[1..]),
         "replay" => replay(&args[1..]),
         "export" => export(&args[1..]),
         "serve" => serve(&args[1..]),
@@ -106,6 +113,18 @@ USAGE:
                      [--threads N] [--no-bound] [--canonical]
                      [--json PATH] [--csv PATH]
                      (scenario × policy matrix, parallel sharded)
+  rideshare orchestrate --spool DIR
+                     [--scenarios all|tiny|a,b,…] [--policies p,q,…|w-sweep]
+                     [--workers N] [--threads N] [--no-bound] [--resume]
+                     [--timeout T] [--retries K] [--canonical]
+                     [--json PATH] [--csv PATH] [--fault-crash-once]
+                     (the sweep matrix fanned out over N worker processes
+                      through a crash-safe spool; merge is byte-identical
+                      to `sweep --canonical`)
+  rideshare worker   --spool DIR [--id ID] [--threads N] [--poll-ms N]
+                     [--crash-once FILE] [--crash-on-unit NAME]
+                     (spool worker; spawned by orchestrate, also runnable
+                      by hand against an existing spool)
   rideshare replay   [--tasks N] [--drivers N] [--seed S] [--input FILE.rtb]
                      [--policy margin|nearest|batch-<W>|batch-opt-<W>]
                      [--model hitch|hwh] [--delivery]
@@ -140,6 +159,18 @@ like 3m or 90s (greedy vs optimal per-batch matcher); `w-sweep` expands
 to the batching study (window sweep under both matchers). --canonical
 omits wall-times so reports are byte-identical across thread counts (the
 CI snapshot form).
+
+`orchestrate` runs the same matrix across `--workers` child processes: it
+splits the catalog into one self-describing unit file per scenario under
+`--spool DIR`, workers claim units by atomic rename (the filesystem is
+the lock), run them through the identical sweep core, and publish
+canonical results the parent merges in catalog order — byte-identical to
+`sweep --canonical`, for any worker count. A worker that dies mid-unit
+leaves its claim behind: the parent requeues the unit (bounded by
+`--retries` attempts, then poisons it and fails), kills workers stuck
+past `--timeout` (seconds, or 90s/30m/2h/1d), and `--resume` continues a
+partial spool without recomputing finished units. The spool survives
+every failure, so a poisoned or interrupted run is always resumable.
 
 `replay` never materialises the trace: trips generate lazily in publish
 order, prices come from the rolling-window surge pricer (default 30 min;
@@ -319,17 +350,21 @@ fn simulate(args: &[String], market: Market) -> Result<(), String> {
     Ok(())
 }
 
-fn sweep(args: &[String]) -> Result<(), String> {
-    use rideshare::bench::{run_sweep, PolicySpec, Scenario, SweepOptions};
+/// Parses the shared `--scenarios` / `--policies` matrix grammar of
+/// `sweep` and `orchestrate`, so the two subcommands can never disagree
+/// about what a catalog selection means.
+fn parse_sweep_matrix(
+    args: &[String],
+) -> Result<
+    (
+        Vec<rideshare::bench::Scenario>,
+        Vec<rideshare::bench::PolicySpec>,
+    ),
+    String,
+> {
+    use rideshare::bench::{PolicySpec, Scenario};
 
-    let scenario_arg = flag_value(args, "--scenarios").unwrap_or("all");
-    if scenario_arg == "list" {
-        for s in Scenario::catalog() {
-            println!("{:<14} {}", s.name, s.summary);
-        }
-        return Ok(());
-    }
-    let scenarios: Vec<Scenario> = match scenario_arg {
+    let scenarios: Vec<Scenario> = match flag_value(args, "--scenarios").unwrap_or("all") {
         "all" => Scenario::catalog(),
         "tiny" => Scenario::tiny_catalog(),
         names => names
@@ -348,6 +383,19 @@ fn sweep(args: &[String]) -> Result<(), String> {
             .map(|n| PolicySpec::parse(n.trim()).ok_or_else(|| format!("unknown policy '{n}'")))
             .collect::<Result<_, _>>()?,
     };
+    Ok((scenarios, policies))
+}
+
+fn sweep(args: &[String]) -> Result<(), String> {
+    use rideshare::bench::{run_sweep, Scenario, SweepOptions};
+
+    if flag_value(args, "--scenarios") == Some("list") {
+        for s in Scenario::catalog() {
+            println!("{:<14} {}", s.name, s.summary);
+        }
+        return Ok(());
+    }
+    let (scenarios, policies) = parse_sweep_matrix(args)?;
     let threads: usize = match flag_value(args, "--threads") {
         Some(v) => v
             .parse()
@@ -383,6 +431,119 @@ fn sweep(args: &[String]) -> Result<(), String> {
         println!("wrote {path}");
     }
     Ok(())
+}
+
+/// `rideshare orchestrate`: the sweep matrix fanned out over worker
+/// child processes through a crash-safe spool, merged byte-identical to
+/// `sweep --canonical`.
+fn orchestrate_cmd(args: &[String]) -> Result<(), String> {
+    use rideshare::bench::{orchestrate, OrchestrateOptions};
+
+    let spool = PathBuf::from(
+        flag_value(args, "--spool").ok_or_else(|| format!("--spool DIR required\n{USAGE}"))?,
+    );
+    let (scenarios, policies) = parse_sweep_matrix(args)?;
+    let workers: usize = parse_flag(args, "--workers", 2)?;
+    let threads: usize = match flag_value(args, "--threads") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value '{v}' for --threads"))?,
+        None => {
+            // Split the machine across the worker pool by default.
+            let total = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            (total / workers.max(1)).max(1)
+        }
+    };
+    let timeout_secs = parse_secs_flag(args, "--timeout", 300)?;
+    if timeout_secs <= 0 {
+        return Err("--timeout must be positive".into());
+    }
+    let retries: usize = parse_flag(args, "--retries", 3)?;
+    let exe = std::env::current_exe().map_err(|e| format!("resolving own binary: {e}"))?;
+    let mut worker_extra_args = Vec::new();
+    if args.iter().any(|a| a == "--fault-crash-once") {
+        // CI fault injection: exactly one worker (marker-create wins) dies
+        // right after its next claim, exercising the requeue path.
+        worker_extra_args.extend([
+            "--crash-once".to_string(),
+            spool.join("crash.marker").display().to_string(),
+        ]);
+    }
+    let opts = OrchestrateOptions {
+        workers,
+        worker_cmd: vec![exe.display().to_string(), "worker".to_string()],
+        worker_extra_args,
+        threads_per_worker: threads,
+        compute_bound: !args.iter().any(|a| a == "--no-bound"),
+        resume: args.iter().any(|a| a == "--resume"),
+        unit_timeout: std::time::Duration::from_secs(timeout_secs as u64),
+        max_attempts: retries,
+        ..OrchestrateOptions::default()
+    };
+
+    // audit:allow(wall-clock): operator-facing elapsed-time display only; --canonical drops these lines, which is exactly what the CI byte-identity diffs compare.
+    let start = std::time::Instant::now();
+    let outcome = orchestrate(&spool, &scenarios, &policies, &opts).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64();
+
+    println!("{}", outcome.report.render());
+    println!(
+        "{} cells ({} scenarios × {} policies) over {workers} worker process(es), \
+         {} unit(s) resumed, {} requeue(s), {} respawn(s)",
+        outcome.report.cells.len(),
+        scenarios.len(),
+        policies.len(),
+        outcome.resumed,
+        outcome.requeues,
+        outcome.respawns,
+    );
+    if !args.iter().any(|a| a == "--canonical") {
+        println!("        {elapsed:.2}s wall");
+    }
+    // The merged report carries no wall-times (workers publish the
+    // canonical form), so both outputs are always canonical.
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, outcome.report.to_json(false))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--csv") {
+        std::fs::write(path, outcome.report.to_csv(false))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `rideshare worker`: the child side of `orchestrate`. Claims spool
+/// units until the catalog is drained. The fault-injection flags exist
+/// for the crash-safety tests; an injected crash exits with code 86,
+/// deliberately leaving the claim orphaned for the parent to recover.
+fn worker_cmd(args: &[String]) -> Result<(), String> {
+    use rideshare::bench::{run_worker, WorkerOptions, WorkerOutcome};
+
+    let spool = PathBuf::from(
+        flag_value(args, "--spool").ok_or_else(|| format!("--spool DIR required\n{USAGE}"))?,
+    );
+    let poll_ms: u64 = parse_flag(args, "--poll-ms", 25)?;
+    let opts = WorkerOptions {
+        spool,
+        id: flag_value(args, "--id").map_or_else(|| std::process::id().to_string(), str::to_string),
+        threads: parse_flag(args, "--threads", 1)?,
+        poll_interval: std::time::Duration::from_millis(poll_ms),
+        crash_once: flag_value(args, "--crash-once").map(PathBuf::from),
+        crash_on_unit: flag_value(args, "--crash-on-unit").map(str::to_string),
+    };
+    match run_worker(&opts).map_err(|e| e.to_string())? {
+        WorkerOutcome::Drained { units_done } => {
+            println!("worker: spool drained, ran {units_done} unit(s)");
+            Ok(())
+        }
+        WorkerOutcome::CrashRequested => {
+            eprintln!("worker: injected crash, abandoning claim");
+            std::process::exit(86);
+        }
+    }
 }
 
 /// Parses `--policy` into the shard-stable streaming policy spec, through
@@ -421,9 +582,8 @@ fn replay(args: &[String]) -> Result<(), String> {
     let seed: u64 = parse_flag(args, "--seed", 0)?;
     let surge_mins: i64 = parse_flag(args, "--surge-window", 30)?;
     let shards: usize = parse_flag(args, "--shards", 1)?;
-    if shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
+    // Typed zero-shard rejection — the partitioner would `% 0` otherwise.
+    let shard_options = ShardOptions::try_new(shards).map_err(|e| format!("--shards: {e}"))?;
     // Sharding is lossless only over disjoint service regions (see
     // ARCHITECTURE.md); `--shards N` therefore defaults to an N-region
     // trace, and `--regions K` decouples the two (K ≥ N regions fold onto
@@ -516,7 +676,7 @@ fn replay(args: &[String]) -> Result<(), String> {
                 events,
                 spec,
                 &partitioner,
-                ShardOptions::new(shards).stream(options).validate(false),
+                shard_options.stream(options).validate(false),
                 &mut metrics,
             );
             if let Some(e) = decode_err.into_inner() {
@@ -551,7 +711,7 @@ fn replay(args: &[String]) -> Result<(), String> {
             driver_events.into_iter().chain(task_events),
             spec,
             &partitioner,
-            ShardOptions::new(shards).stream(options).validate(false),
+            shard_options.stream(options).validate(false),
             &mut metrics,
         )
     } else {
@@ -767,9 +927,8 @@ fn serve(args: &[String]) -> Result<(), String> {
     let source_arg = flag_value(args, "--source")
         .ok_or_else(|| format!("--source jsonl:PATH|csv:PATH|tcp:ADDR required\n{USAGE}"))?;
     let shards: usize = parse_flag(args, "--shards", 1)?;
-    if shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
+    // Typed zero-shard rejection — the partitioner would `% 0` otherwise.
+    let shard_options = ShardOptions::try_new(shards).map_err(|e| format!("--shards: {e}"))?;
     let regions: usize = parse_flag(args, "--regions", shards.max(1))?;
     if regions < shards {
         return Err(format!(
@@ -801,7 +960,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         StreamOptions::default().grid(rideshare::geo::porto::bounding_box())
     };
     let mut config = ServeConfig::new(shards)
-        .shard_options(ShardOptions::new(shards).stream(options).validate(false))
+        .shard_options(shard_options.stream(options).validate(false))
         .day_length(TimeDelta::from_hours(day_hours));
     if snapshot_dir.is_some() {
         config = config.snapshot_every(TimeDelta::from_mins(snapshot_mins));

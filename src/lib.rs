@@ -19,7 +19,7 @@
 //! | [`online`] | `rideshare-online` | the online simulator, Nearest & maxMargin dispatch, streaming engines, the `serve` daemon |
 //! | [`metrics`] | `rideshare-metrics` | evaluation metrics and table rendering |
 //! | [`tsdb`] | `rideshare-tsdb` | embedded telemetry time-series store: lossless chunks, label index, range queries (`rideshare query`) |
-//! | [`bench`](mod@bench) | `rideshare-bench` | scenario catalog, parallel sharded sweep engine, figure harness |
+//! | [`bench`](mod@bench) | `rideshare-bench` | scenario catalog, parallel sharded sweep engine, multi-process sweep orchestrator (`rideshare orchestrate`), figure harness |
 //!
 //! # Quickstart
 //!
@@ -64,7 +64,10 @@ pub use rideshare_types as types;
 
 /// The most commonly used items, importable in one line.
 pub mod prelude {
-    pub use rideshare_bench::{run_sweep, PolicySpec, Scenario, SweepOptions, SweepReport};
+    pub use rideshare_bench::{
+        orchestrate, run_sweep, run_worker, OrchestrateOptions, OrchestrateOutcome, PolicySpec,
+        Scenario, SweepOptions, SweepReport, WorkerOptions, WorkerOutcome,
+    };
     pub use rideshare_core::{
         disjoint_components, lp_upper_bound, performance_ratio, sharded_upper_bound, solve_exact,
         solve_greedy, solve_sharded, Assignment, Driver, DriverRoute, DriverView, ExactOptions,
@@ -91,5 +94,7 @@ pub mod prelude {
     pub use rideshare_tsdb::{
         run_query, Agg, LabelFilter, RangeQuery, RunLabels, TsdbRecorder, TsdbStore,
     };
-    pub use rideshare_types::{DriverId, Money, TaskId, TimeDelta, Timestamp};
+    pub use rideshare_types::{
+        ConfigError, DriverId, Money, OrchestrateError, TaskId, TimeDelta, Timestamp,
+    };
 }

@@ -184,6 +184,46 @@ fn replay_records_telemetry_and_query_reads_it_back() {
     let json = String::from_utf8_lossy(&canon.stdout);
     assert!(json.contains("\"schema\":\"rideshare-tsdb/1\""), "{json}");
 
+    // --agg rate is wired end to end: the table header names the
+    // projection, and the canonical JSON records it.
+    let rate = cli(&[
+        "query",
+        "--tsdb",
+        dir_s,
+        "--filter",
+        "scenario=cli-smoke,metric=profit",
+        "--agg",
+        "rate",
+    ]);
+    assert!(rate.status.success());
+    let rate_table = String::from_utf8_lossy(&rate.stdout);
+    assert!(rate_table.contains("rate"), "{rate_table}");
+
+    let rate_canon = cli(&[
+        "query",
+        "--tsdb",
+        dir_s,
+        "--filter",
+        "metric=served",
+        "--agg",
+        "rate",
+        "--canonical",
+    ]);
+    assert!(rate_canon.status.success());
+    let rate_json = String::from_utf8_lossy(&rate_canon.stdout);
+    assert!(rate_json.contains("\"agg\":\"rate\""), "{rate_json}");
+    // Canonical windows carry exact sufficient statistics, not the
+    // projection, so rate output equals sum output up to the agg field.
+    assert_eq!(
+        rate_json.replace("\"agg\":\"rate\"", "\"agg\":\"sum\""),
+        json
+    );
+
+    // An unknown projection is rejected naming the legal spellings.
+    let bad_agg = cli(&["query", "--tsdb", dir_s, "--agg", "median"]);
+    assert!(!bad_agg.status.success());
+    assert!(String::from_utf8_lossy(&bad_agg.stderr).contains("sum|avg|rate|min|max"));
+
     // Error paths: querying is read-only, so a missing store directory
     // is a typed error (and must not create an empty store), and an
     // unknown label key names the legal keys.

@@ -214,6 +214,79 @@ fn recorded_store_matches_stream_metrics_across_policies_and_shards() {
     }
 }
 
+/// Serving across day rollovers must not perturb the recording: the
+/// daemon runs with a 2-hour day over a one-day trace, and the day hook
+/// does exactly what `rideshare serve --tsdb-dir` does at each boundary
+/// — `MetricsJournal::roll_day` plus a mid-run
+/// [`TsdbRecorder::flush_store`]. The recorded store still reproduces
+/// the cumulative accumulator with exact `==`, and its samples are
+/// identical to a rollover-free recording of the same events.
+#[test]
+fn serve_day_rollover_preserves_recorded_equivalence() {
+    let scenario = Scenario::by_name("porto-regions").expect("catalog scenario");
+    let config = scenario.trace_config().expect("trace-backed").clone();
+    let market = scenario.build_market();
+
+    // Baseline: the same events recorded with no journal and no rollover.
+    let base_dir = tmp_dir("rollover-base");
+    let (base_store, base_metrics) = record_run(
+        &market,
+        &config,
+        ShardPolicySpec::MaxMargin,
+        "margin",
+        1,
+        &base_dir,
+    );
+
+    // Rollover run: serve daemon, 2-hour days, journal + recorder sink.
+    let dir = tmp_dir("rollover");
+    let store = TsdbStore::open(&dir).expect("open store");
+    let labels = RunLabels::new("porto-regions", "margin", config.region_boxes().len(), 1);
+    let mut sink = TsdbRecorder::new(store, labels, MetricsJournal::hourly());
+    let daemon = ServeDaemon::new(
+        market.speed(),
+        ShardPolicySpec::MaxMargin,
+        ServeConfig::new(1).day_length(TimeDelta::from_hours(2)),
+    );
+    let mut closed_days = 0usize;
+    let outcome = daemon.run(
+        &mut IterSource::new(market_events(&market).into_iter()),
+        &mut sink,
+        |_, _| {},
+        |_, rec| {
+            let _ = rec.inner_mut().roll_day();
+            rec.flush_store().expect("mid-run flush at day boundary");
+            closed_days += 1;
+        },
+    );
+    assert!(outcome.error.is_none(), "serve run must drain cleanly");
+    assert!(
+        closed_days >= 2,
+        "regression needs several rollovers, got {closed_days}"
+    );
+
+    let (rolled_store, journal) = sink.finish().expect("recording must not error");
+    let rolled_store = rolled_store.expect("store attached");
+    assert_eq!(journal.days_closed(), closed_days);
+    let cumulative = journal.into_cumulative();
+
+    // Rollovers never perturb the cumulative accumulator…
+    assert_eq!(cumulative, base_metrics, "journal cumulative drifted");
+    // …nor the recorded store: query totals still equal the accumulator
+    // exactly, and every series matches the rollover-free recording
+    // sample for sample.
+    assert_store_equals_metrics(&rolled_store, &cumulative, "rolled");
+    for metric in ALL_METRICS {
+        assert_eq!(
+            samples_of(&rolled_store, metric),
+            samples_of(&base_store, metric),
+            "{metric} samples drifted across day rollovers"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&base_dir);
+}
+
 /// Reopening a flushed store reads back exactly what was recorded —
 /// the query result is identical before and after the disk round trip.
 #[test]
